@@ -1,0 +1,153 @@
+// Command lsms-bench regenerates the paper's evaluation (Sections 6-7):
+// every table and figure, plus the extra ablations DESIGN.md documents.
+//
+// Usage:
+//
+//	lsms-bench [-size 1525] [-seed 1993] [-exp all]
+//
+// Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
+// headline ablation regalloc iistep expansion predshare straightline latencies all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func main() {
+	size := flag.Int("size", 1525, "number of workload loops (paper: 1,525)")
+	seed := flag.Int64("seed", 1993, "workload generator seed")
+	exp := flag.String("exp", "all", "comma-separated experiment ids")
+	flag.Parse()
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	want := func(id string) bool { return wants["all"] || wants[id] }
+
+	var s *bench.Suite
+	suite := func() *bench.Suite {
+		if s == nil {
+			var err error
+			s, err = bench.NewSuite(loopgen.Options{Size: *size, Seed: *seed})
+			if err != nil {
+				fatalf("building workload: %v", err)
+			}
+			fmt.Printf("workload: %d loops (seed %d) on machine %q\n\n", s.Size(), *seed, s.Mach.Name)
+		}
+		return s
+	}
+
+	if want("table1") {
+		fmt.Println(bench.Table1(machine.Cydra()))
+	}
+	if want("table2") {
+		r, err := bench.Table2(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("table3") {
+		r, err := bench.Table34(suite(), core.SchedSlack)
+		check(err)
+		fmt.Println("Table 3 — " + r.String())
+	}
+	if want("table4") {
+		r, err := bench.Table34(suite(), core.SchedCydrome)
+		check(err)
+		fmt.Println("Table 4 — " + r.String())
+	}
+	if want("fig5") {
+		r, err := bench.Figure5(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("fig6") {
+		r, err := bench.Figure6(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("fig7") {
+		r, err := bench.Figure7(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("fig8") {
+		r, err := bench.Figure8(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("effort") {
+		for _, n := range []core.SchedulerName{core.SchedSlack, core.SchedCydrome} {
+			r, err := bench.Effort(suite(), n)
+			check(err)
+			fmt.Println(r)
+		}
+	}
+	if want("headline") {
+		r, err := bench.Headline(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("ablation") {
+		r, err := bench.Ablation(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("regalloc") {
+		r, err := bench.Regalloc(suite())
+		check(err)
+		fmt.Println(bench.RenderRegalloc(r))
+	}
+	if want("iistep") {
+		n := *size
+		if n > 400 {
+			n = 400 // two full suite runs; keep the ablation affordable
+		}
+		r, err := bench.IIStep(loopgen.Options{Size: n, Seed: *seed})
+		check(err)
+		fmt.Println(r)
+	}
+	if want("expansion") {
+		r, err := bench.CodeExpansion(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("predshare") {
+		r, err := bench.PredicateSharing(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("straightline") {
+		r, err := bench.Straightline(suite())
+		check(err)
+		fmt.Println(r)
+	}
+	if want("latencies") {
+		n := *size
+		if n > 400 {
+			n = 400
+		}
+		rows, err := bench.Latencies(n, *seed)
+		check(err)
+		fmt.Println(bench.RenderLatencies(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lsms-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

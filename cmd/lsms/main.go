@@ -1,0 +1,141 @@
+// Command lsms compiles mini-FORTRAN DO loops and modulo schedules them
+// with the paper's lifetime-sensitive bidirectional slack scheduler (or
+// any of the baselines), printing the loop IR, the II lower bounds, the
+// schedule, its register pressure against the MinAvg bound, and the
+// generated rotating-register kernel.
+//
+// Usage:
+//
+//	lsms [-scheduler slack|slack-unidirectional|cydrome|list]
+//	     [-machine cydra|shortmem|longops|pipediv]
+//	     [-dump ir,sched,kernel,pressure] file.f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/viz"
+)
+
+func main() {
+	schedName := flag.String("scheduler", "slack", "scheduling policy: slack, slack-unidirectional, cydrome, list")
+	machName := flag.String("machine", "cydra", "machine model: cydra, shortmem, longops, pipediv")
+	dump := flag.String("dump", "sched,pressure", "comma-separated: ir, sched, mrt, gantt, lifetimes, kernel, pressure")
+	verify := flag.Bool("verify", false, "execute the generated kernel on the VLIW simulator against the interpreter (auto-generated inputs)")
+	flag.Parse()
+
+	var m *machine.Desc
+	for _, cand := range machine.Variants() {
+		if cand.Name == *machName {
+			m = cand
+		}
+	}
+	if m == nil {
+		fatalf("unknown machine %q", *machName)
+	}
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fatalf("usage: lsms [flags] [file.f]")
+	}
+	if err != nil {
+		fatalf("reading source: %v", err)
+	}
+
+	unit, loops, err := frontend.Compile(string(src), m)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	fmt.Printf("subroutine %s: %d innermost loop(s)\n", unit.Prog.Name, len(loops))
+
+	wants := map[string]bool{}
+	for _, d := range strings.Split(*dump, ",") {
+		wants[strings.TrimSpace(d)] = true
+	}
+
+	for i, cl := range loops {
+		fmt.Printf("\n=== loop %d (line %d) ===\n", i+1, cl.Do.Pos())
+		if cl.Ineligible != nil {
+			fmt.Printf("not modulo scheduled: %v\n", cl.Ineligible)
+			continue
+		}
+		if wants["ir"] {
+			fmt.Print(cl.Loop.String())
+		}
+		c, err := core.Compile(cl.Loop, core.Options{Scheduler: core.SchedulerName(*schedName)})
+		if err != nil {
+			fatalf("scheduling: %v", err)
+		}
+		b := c.Result.Bounds
+		fmt.Printf("bounds: ResMII=%d RecMII=%d MII=%d\n", b.ResMII, b.RecMII, b.MII)
+		if !c.OK() {
+			fmt.Printf("scheduler %s gave up (last II attempted: %d)\n", *schedName, c.Result.FailedII)
+			continue
+		}
+		s := c.Result.Schedule
+		fmt.Printf("scheduled at II=%d (%s), length %d, %d stages\n",
+			s.II, optimality(s.II, b.MII), s.Length(), s.Stages())
+		if wants["sched"] {
+			fmt.Print(s.String())
+		}
+		if wants["mrt"] {
+			fmt.Print(viz.MRT(cl.Loop, s))
+		}
+		if wants["gantt"] {
+			fmt.Print(viz.Gantt(cl.Loop, s))
+		}
+		if wants["lifetimes"] {
+			fmt.Print(viz.Lifetimes(cl.Loop, s))
+		}
+		if wants["pressure"] {
+			fmt.Printf("pressure: MaxLive=%d MinAvg=%d (gap %d), GPRs=%d, ICR=%d\n",
+				c.RR.MaxLive, c.MinAvg, c.RR.MaxLive-c.MinAvg, c.GPRs, c.ICR)
+		}
+		if wants["kernel"] && c.Kernel != nil {
+			fmt.Print(c.Kernel.String())
+		}
+		st := c.Result.Stats
+		fmt.Printf("effort: %d II attempt(s), %d central iterations, %d forces, %d ejections, %v\n",
+			st.IIAttempts, st.CentralIters, st.Forces, st.Ejections, st.Elapsed)
+		if *verify {
+			env, _, trips, err := cl.BuildEnv(loopgen.AutoBinding(cl))
+			if err != nil {
+				fmt.Printf("verify: cannot build an environment: %v\n", err)
+				continue
+			}
+			if trips > 64 {
+				trips = 64
+			}
+			if err := core.VerifyExecution(c, env, trips); err != nil {
+				fatalf("verification FAILED: %v", err)
+			}
+			fmt.Printf("verify: %d iterations on the VLIW simulator match the interpreter\n", trips)
+		}
+	}
+}
+
+func optimality(ii, mii int) string {
+	if ii == mii {
+		return "optimal: II = MII"
+	}
+	return fmt.Sprintf("MII + %d", ii-mii)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lsms: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Package bench is the benchmark harness: it reproduces every table and
+// figure of the paper's evaluation (Sections 6 and 7) on this
+// repository's workload. Each experiment has a structured result and a
+// renderer that prints rows shaped like the paper's, so EXPERIMENTS.md
+// can put measured values next to published ones.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/mii"
+	"repro/internal/mindist"
+	"repro/internal/sched"
+)
+
+// Class is the paper's loop classification (Tables 3 and 4). A loop
+// "has a recurrence" when a recurrence circuit actually constrains its
+// II (RecMII > 1); trivial self-arcs with unit ratio do not count
+// (Section 4 calls those imposing "no scheduling constraints").
+type Class int
+
+// The four classes.
+const (
+	Neither Class = iota
+	HasConditional
+	HasRecurrence
+	HasBoth
+)
+
+func (c Class) String() string {
+	switch c {
+	case HasConditional:
+		return "Has Conditional"
+	case HasRecurrence:
+		return "Has Recurrence"
+	case HasBoth:
+		return "Has Both"
+	}
+	return "Has Neither"
+}
+
+// Classes lists the row order of Tables 3 and 4.
+func Classes() []Class {
+	return []Class{HasConditional, HasRecurrence, HasBoth, Neither}
+}
+
+// LoopInfo holds a loop's schedule-independent measurements (Table 2).
+type LoopInfo struct {
+	Name          string
+	Loop          *ir.Loop
+	NumBB         int
+	Ops           int
+	CriticalAtMII int
+	OpsOnRec      int
+	DivOps        int
+	Bounds        mii.Bounds
+	MinAvgAtMII   int
+	GPRs          int
+	Class         Class
+}
+
+// Run is one loop scheduled by one policy.
+type Run struct {
+	Info    *LoopInfo
+	OK      bool
+	II      int // achieved; last attempted on failure (Table 4 footnote 8)
+	MaxLive int
+	MinAvg  int // at the achieved II
+	ICR     int
+	Stats   sched.Stats
+}
+
+// Suite wraps the workload with cached analyses and runs.
+type Suite struct {
+	Mach  *machine.Desc
+	Loops []*loopgen.Loop
+
+	infos []*LoopInfo
+	runs  map[core.SchedulerName][]Run
+	cfgs  map[core.SchedulerName]sched.Config
+}
+
+// NewSuite builds the workload and prepares the harness.
+func NewSuite(opt loopgen.Options) (*Suite, error) {
+	w, err := loopgen.Build(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Mach:  w.Mach,
+		Loops: w.Loops,
+		runs:  map[core.SchedulerName][]Run{},
+		cfgs:  map[core.SchedulerName]sched.Config{},
+	}, nil
+}
+
+// Size returns the number of loops.
+func (s *Suite) Size() int { return len(s.Loops) }
+
+// Infos computes (once) the schedule-independent loop measurements.
+func (s *Suite) Infos() ([]*LoopInfo, error) {
+	if s.infos != nil {
+		return s.infos, nil
+	}
+	for _, wl := range s.Loops {
+		l := wl.CL.Loop
+		b, err := mii.Compute(l)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", wl.Name, err)
+		}
+		md, err := mindist.Compute(l, b.MII)
+		if err != nil {
+			return nil, fmt.Errorf("%s at MII: %w", wl.Name, err)
+		}
+		info := &LoopInfo{
+			Name:        wl.Name,
+			Loop:        l,
+			NumBB:       l.NumBB,
+			Ops:         len(l.Ops),
+			OpsOnRec:    l.CountOps(func(op *ir.Op) bool { return op.OnRecurrence }),
+			DivOps:      l.CountOps(func(op *ir.Op) bool { return mii.UsesDivider(l, op) }),
+			Bounds:      b,
+			MinAvgAtMII: mindist.MinAvg(l, md, ir.RR),
+			GPRs:        l.GPRCount(),
+		}
+		if mii.HasResourceContention(l) {
+			for _, c := range mii.CriticalOps(l, b.MII) {
+				if c {
+					info.CriticalAtMII++
+				}
+			}
+		}
+		hasR := b.RecMII > 1
+		switch {
+		case l.HasConditional && hasR:
+			info.Class = HasBoth
+		case l.HasConditional:
+			info.Class = HasConditional
+		case hasR:
+			info.Class = HasRecurrence
+		}
+		s.infos = append(s.infos, info)
+	}
+	return s.infos, nil
+}
+
+// Configure overrides the scheduling configuration used for a policy
+// (the II-step ablation); call before the first Runs for that policy.
+func (s *Suite) Configure(name core.SchedulerName, cfg sched.Config) {
+	s.cfgs[name] = cfg
+	delete(s.runs, name)
+}
+
+// Runs schedules every loop with the given policy (cached).
+func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
+	if rs, ok := s.runs[name]; ok {
+		return rs, nil
+	}
+	infos, err := s.Infos()
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]Run, len(infos))
+	for i, info := range infos {
+		c, err := core.Compile(info.Loop, core.Options{
+			Scheduler:   name,
+			Config:      s.cfgs[name],
+			SkipCodegen: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, info.Name, err)
+		}
+		r := Run{Info: info, OK: c.OK(), II: c.Result.II(), Stats: c.Result.Stats}
+		if c.OK() {
+			r.MaxLive = c.RR.MaxLive
+			r.MinAvg = c.MinAvg
+			r.ICR = c.ICR
+		}
+		rs[i] = r
+	}
+	s.runs[name] = rs
+	return rs, nil
+}
+
+// pressures collects MaxLive over successful runs.
+func pressures(rs []Run) []int {
+	var out []int
+	for _, r := range rs {
+		if r.OK {
+			out = append(out, r.MaxLive)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func suite(t *testing.T, size int) *Suite {
+	t.Helper()
+	s, err := NewSuite(loopgen.Options{Size: size, Seed: 1993})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The harness smoke test on a reduced workload: every experiment runs,
+// and the paper's qualitative shape holds — the slack scheduler wins on
+// optimality and pressure.
+func TestExperimentsShape(t *testing.T) {
+	s := suite(t, 250)
+
+	t3, err := Table34(s, core.SchedSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Table34(s, core.SchedCydrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctSlack := float64(t3.Total.Opt) / float64(t3.Total.All)
+	pctCyd := float64(t4.Total.Opt) / float64(t4.Total.All)
+	if pctSlack < 0.90 {
+		t.Errorf("slack optimality %.1f%%, paper reports 96%%", 100*pctSlack)
+	}
+	if pctSlack < pctCyd {
+		t.Errorf("slack optimality %.2f below cydrome %.2f — wrong winner", pctSlack, pctCyd)
+	}
+	ratioSlack := float64(t3.Total.SumII) / float64(t3.Total.SumMII)
+	if ratioSlack > 1.05 {
+		t.Errorf("slack ΣII/ΣMII = %.3f, paper reports 1.01", ratioSlack)
+	}
+
+	h, err := Headline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SpeedupVsOld < 1.0 {
+		t.Errorf("speedup vs old %.3f < 1: old scheduler should not win", h.SpeedupVsOld)
+	}
+	if h.PctWithin10 < 80 {
+		t.Errorf("only %.1f%% within 10 RRs of MinAvg (paper: 93%%)", h.PctWithin10)
+	}
+
+	f5, err := Figure5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.Pct("New Scheduler", 0) < f5.Pct("Old Scheduler", 0) {
+		t.Errorf("old scheduler reaches the pressure bound more often (%.1f vs %.1f)",
+			f5.Pct("Old Scheduler", 0), f5.Pct("New Scheduler", 0))
+	}
+
+	ab, err := Ablation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.SumSlack > ab.SumUni || ab.SumSlack > ab.SumCydrome {
+		t.Errorf("bidirectional pressure %d should undercut early-only %d / %d",
+			ab.SumSlack, ab.SumUni, ab.SumCydrome)
+	}
+	// The ablation's point: early-only slack is close to Cydrome, and
+	// clearly worse than bidirectional.
+	if ab.SumSlack == ab.SumUni {
+		t.Log("note: bidirectional made no aggregate difference on this sample")
+	}
+
+	t2, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Rows["MII"].Max < t2.Rows["MII"].P50 {
+		t.Error("quantiles inconsistent")
+	}
+	for _, exp := range []string{t2.String(), t3.String(), t4.String(), h.String(), f5.String(), ab.String()} {
+		if len(strings.TrimSpace(exp)) == 0 {
+			t.Error("empty rendering")
+		}
+	}
+}
+
+func TestEffortCounters(t *testing.T) {
+	s := suite(t, 150)
+	eSlack, err := Effort(s, core.SchedSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCyd, err := Effort(s, core.SchedCydrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eSlack.NoBacktrack+eSlack.BacktrackLoops != s.Size() {
+		t.Error("effort loop counts do not add up")
+	}
+	// Section 6: Cydrome's scheduler backtracked 3.7× as much; at least
+	// require it not to backtrack less.
+	if eCyd.Ejections < eSlack.Ejections {
+		t.Errorf("cydrome ejections %d < slack %d — wrong shape", eCyd.Ejections, eSlack.Ejections)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	s := suite(t, 120)
+	for _, f := range []func(*Suite) (*FigureResult, error){Figure6, Figure7, Figure8} {
+		r, err := f(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range r.Order {
+			if len(r.Series[name]) == 0 {
+				t.Errorf("%s: empty series %s", r.Title, name)
+			}
+		}
+		// Cumulative percentages must be monotone.
+		prev := -1.0
+		for _, th := range r.Thresholds {
+			p := r.Pct(r.Order[0], th)
+			if p < prev {
+				t.Errorf("%s: cumulative %% not monotone", r.Title)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRegallocExperiment(t *testing.T) {
+	s := suite(t, 60)
+	rs, err := Regalloc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 || len(rs[0].Deltas) == 0 {
+		t.Fatal("no allocation data")
+	}
+	// First-fit/start-time is the primary allocator; it must land within
+	// +5 of the bound on at least 95% of loops (footnote 4's shape).
+	primary := rs[0]
+	within := 0
+	for _, d := range primary.Deltas {
+		if d < 0 {
+			t.Fatalf("allocation below its own lower bound (Δ=%d)", d)
+		}
+		if d <= 5 {
+			within++
+		}
+	}
+	if pct := 100 * float64(within) / float64(len(primary.Deltas)); pct < 95 {
+		t.Errorf("primary allocator within +5 on only %.1f%% of loops", pct)
+	}
+	out := RenderRegalloc(rs)
+	if !strings.Contains(out, "first-fit") {
+		t.Error("render missing strategies")
+	}
+}
+
+func TestTable1Echo(t *testing.T) {
+	out := Table1(machineCydra())
+	for _, want := range []string{"MemPort", "Divider", "17", "21", "brtop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 echo missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func machineCydra() *machine.Desc { return machine.Cydra() }
+
+// The two extension experiments must produce the documented shapes:
+// MVE expands code (Section 2.3's motivation for rotating files), and
+// bidirectional placement does not lose to early-only on straight-line
+// code (Section 8's IPS conjecture).
+func TestExtensionExperiments(t *testing.T) {
+	s := suite(t, 120)
+	exp, err := CodeExpansion(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.N < 100 {
+		t.Fatalf("only %d loops measured", exp.N)
+	}
+	needExpansion := 0
+	for _, u := range exp.Unrolls {
+		if u > 1 {
+			needExpansion++
+		}
+	}
+	if needExpansion < exp.N/2 {
+		t.Errorf("only %d/%d loops need unrolling; lifetimes exceeding II should be common", needExpansion, exp.N)
+	}
+	// Register costs of the two schemas are not directly comparable —
+	// rotating N includes live-out epilogue protection, MVE's exclusive
+	// per-value slots get it free — so only sanity-check positivity.
+	for i := range exp.StaticRegs {
+		if exp.StaticRegs[i] < 1 || exp.RotatingRegs[i] < 1 {
+			t.Errorf("loop %d: degenerate register counts %d/%d", i, exp.StaticRegs[i], exp.RotatingRegs[i])
+		}
+	}
+
+	sl, err := Straightline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.SumBidir > sl.SumEarly {
+		t.Errorf("bidirectional block pressure %d > early-only %d", sl.SumBidir, sl.SumEarly)
+	}
+	if sl.BidirWins < sl.EarlyWins {
+		t.Errorf("early-only wins more blocks (%d vs %d)", sl.EarlyWins, sl.BidirWins)
+	}
+}

@@ -1,0 +1,267 @@
+// Package circuits enumerates the elementary circuits of a dependence
+// graph and computes the recurrence-constrained lower bound on the
+// initiation interval (Section 3.1 of the paper).
+//
+// A recurrence circuit with total latency L and total distance Ω forces
+// II ≥ ⌈L/Ω⌉. RecMII is the maximum such ratio over all elementary
+// circuits. The paper scans each circuit (citing Tiernan); this package
+// uses Johnson's output-sensitive algorithm, which is equivalent but
+// asymptotically better, and caps the census for pathological graphs.
+// As a cross-checked alternative it also computes RecMII indirectly, as
+// the smallest II at which the graph with arc costs latency − ω·II has no
+// positive-cost circuit (the minimum cost-to-time ratio formulation the
+// paper attributes to Lawler).
+package circuits
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Circuit is one elementary dependence circuit.
+type Circuit struct {
+	Ops     []ir.OpID // in traversal order; Ops[0] is the smallest id
+	Latency int       // total latency around the circuit
+	Omega   int       // total dependence distance around the circuit
+}
+
+// RecMII returns ⌈Latency/Omega⌉, the II this circuit forces.
+func (c *Circuit) RecMII() int {
+	return (c.Latency + c.Omega - 1) / c.Omega
+}
+
+func (c *Circuit) String() string {
+	return fmt.Sprintf("circuit(ops=%v L=%d Ω=%d → %d)", c.Ops, c.Latency, c.Omega, c.RecMII())
+}
+
+// ErrZeroOmega reports a dependence circuit with total distance zero: a
+// combinational cycle no schedule can satisfy. Well-formed loop bodies
+// never contain one.
+var ErrZeroOmega = errors.New("circuits: dependence circuit with zero total omega")
+
+// ErrTooMany reports that enumeration stopped at the cap; callers should
+// fall back to RecMIIByRatio.
+var ErrTooMany = errors.New("circuits: elementary circuit cap exceeded")
+
+// DefaultCap bounds enumeration; graphs can contain exponentially many
+// elementary circuits but, as the paper notes, real loop bodies have few.
+const DefaultCap = 200000
+
+type arc struct {
+	to      int
+	latency int
+	omega   int
+}
+
+// Enumerate lists the elementary circuits of the loop's dependence graph,
+// up to cap circuits (cap ≤ 0 means DefaultCap). Self-arcs (trivial
+// recurrences) are included as single-op circuits.
+func Enumerate(l *ir.Loop, cap int) ([]Circuit, error) {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	n := len(l.Ops)
+	// Deduplicate parallel arcs keeping each (not merging: different
+	// (latency, omega) pairs along parallel arcs can both matter).
+	adj := make([][]arc, n)
+	for _, d := range l.Deps {
+		adj[d.From] = append(adj[d.From], arc{int(d.To), d.Latency, d.Omega})
+	}
+
+	var out []Circuit
+	// Trivial self-circuits first.
+	for v := 0; v < n; v++ {
+		for _, a := range adj[v] {
+			if a.to == v {
+				if a.omega == 0 {
+					return nil, ErrZeroOmega
+				}
+				out = append(out, Circuit{Ops: []ir.OpID{ir.OpID(v)}, Latency: a.latency, Omega: a.omega})
+			}
+		}
+	}
+
+	// Johnson's algorithm over non-self arcs, rooted at increasing s;
+	// only vertices ≥ s participate, so each circuit is found once, at
+	// its smallest vertex.
+	blocked := make([]bool, n)
+	bsets := make([][]int, n)
+	var stack []int
+	var latSum, omgSum []int
+
+	var unblock func(v int)
+	unblock = func(v int) {
+		blocked[v] = false
+		for _, w := range bsets[v] {
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+		bsets[v] = bsets[v][:0]
+	}
+
+	overflow := false
+	var circuit func(v, s int) bool
+	circuit = func(v, s int) bool {
+		found := false
+		stack = append(stack, v)
+		blocked[v] = true
+		for _, a := range adj[v] {
+			w := a.to
+			if w < s || w == v {
+				continue
+			}
+			if w == s {
+				if len(out) >= cap {
+					overflow = true
+					continue
+				}
+				ops := make([]ir.OpID, len(stack))
+				L, W := a.latency, a.omega
+				for i, u := range stack {
+					ops[i] = ir.OpID(u)
+					if i+1 < len(stack) {
+						// cost accumulated below via latSum
+					}
+				}
+				L += latSum[len(stack)-1]
+				W += omgSum[len(stack)-1]
+				if W == 0 {
+					// propagate a real error
+					out = append(out, Circuit{Ops: ops, Latency: L, Omega: 0})
+				} else {
+					out = append(out, Circuit{Ops: ops, Latency: L, Omega: W})
+				}
+				found = true
+			} else if !blocked[w] {
+				latSum = append(latSum, latSum[len(latSum)-1]+a.latency)
+				omgSum = append(omgSum, omgSum[len(omgSum)-1]+a.omega)
+				if circuit(w, s) {
+					found = true
+				}
+				latSum = latSum[:len(latSum)-1]
+				omgSum = omgSum[:len(omgSum)-1]
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, a := range adj[v] {
+				w := a.to
+				if w < s || w == v {
+					continue
+				}
+				dup := false
+				for _, x := range bsets[w] {
+					if x == v {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					bsets[w] = append(bsets[w], v)
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		return found
+	}
+
+	for s := 0; s < n && !overflow; s++ {
+		for v := s; v < n; v++ {
+			blocked[v] = false
+			bsets[v] = bsets[v][:0]
+		}
+		latSum = latSum[:0]
+		omgSum = omgSum[:0]
+		latSum = append(latSum, 0)
+		omgSum = append(omgSum, 0)
+		circuit(s, s)
+	}
+
+	for _, c := range out {
+		if c.Omega == 0 {
+			return nil, ErrZeroOmega
+		}
+	}
+	if overflow {
+		return out, ErrTooMany
+	}
+	return out, nil
+}
+
+// RecMII computes the recurrence-constrained lower bound on II by
+// scanning elementary circuits, falling back to the cost-to-time-ratio
+// method if the census overflows. A loop with no circuits has RecMII 1.
+func RecMII(l *ir.Loop) (int, error) {
+	cs, err := Enumerate(l, 0)
+	if errors.Is(err, ErrTooMany) {
+		return RecMIIByRatio(l)
+	}
+	if err != nil {
+		return 0, err
+	}
+	rec := 1
+	for i := range cs {
+		if r := cs[i].RecMII(); r > rec {
+			rec = r
+		}
+	}
+	return rec, nil
+}
+
+// RecMIIByRatio computes RecMII as the smallest II ≥ 1 such that the
+// dependence graph with arc costs latency − ω·II has no positive-cost
+// circuit. Positivity is monotone non-increasing in II, so binary search
+// applies; each feasibility probe is a Bellman–Ford longest-path pass
+// with positive-circuit detection.
+func RecMIIByRatio(l *ir.Loop) (int, error) {
+	n := len(l.Ops)
+	hasPositive := func(ii int) bool {
+		dist := make([]int, n)
+		// Longest paths from a virtual source connected to all nodes at 0.
+		for pass := 0; pass < n; pass++ {
+			changed := false
+			for _, d := range l.Deps {
+				c := d.Latency - d.Omega*ii
+				if dist[d.From]+c > dist[d.To] {
+					dist[d.To] = dist[d.From] + c
+					changed = true
+				}
+			}
+			if !changed {
+				return false
+			}
+		}
+		for _, d := range l.Deps {
+			c := d.Latency - d.Omega*ii
+			if dist[d.From]+c > dist[d.To] {
+				return true
+			}
+		}
+		return false
+	}
+
+	hi := 1
+	for _, d := range l.Deps {
+		if d.Latency > 0 {
+			hi += d.Latency
+		}
+	}
+	if hasPositive(hi) {
+		// Even II = Σ latencies fails: some circuit has Ω = 0.
+		return 0, ErrZeroOmega
+	}
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if hasPositive(mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

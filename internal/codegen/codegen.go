@@ -1,0 +1,204 @@
+// Package codegen lowers a modulo schedule to kernel-only code for the
+// rotating-register target (Sections 2.2–2.3; the "kernel-only" schema of
+// Rau, Schlansker and Tirumalai, MICRO-25). The kernel has II instruction
+// words; the operation scheduled at cycle t = σ·II + φ issues in word φ,
+// guarded by the stage-σ iteration-control predicate, so no prologue or
+// epilogue code is needed: stage predicates squash the ramp-up and
+// ramp-down iterations.
+//
+// Register operands become rotating specifiers. With the iteration
+// control pointer decrementing once per kernel pass, the instance of
+// value v (allocation offset r_v) produced by iteration i lives at
+// physical register (ICP₀ + r_v − i) mod N; the constant specifiers
+//
+//	destination: r_v + σ_def      source: r_v + ω + σ_use
+//
+// make every pass address the right instances (the concatenation of
+// shifters in the paper's Figure 2).
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/regalloc"
+)
+
+// Spec is one resolved register operand.
+type Spec struct {
+	File ir.RegFile
+	// Off is the rotating specifier (RR/ICR files). Unused for GPR.
+	Off int
+	// Val is the original value, used for GPR lookup and for the
+	// simulator's instance-tag checking.
+	Val ir.ValueID
+	// Omega is the read distance, kept so the simulator can compute the
+	// expected instance.
+	Omega int
+}
+
+// Inst is one kernel operation: the original op plus resolved operands
+// and its stage.
+type Inst struct {
+	Op    *ir.Op
+	Stage int
+	Srcs  []Spec
+	Dst   *Spec
+	Pred  *Spec // if-conversion guard (sense in Op.PredNeg); nil if none
+}
+
+// Kernel is the generated loop body.
+type Kernel struct {
+	Loop   *ir.Loop
+	II     int
+	Stages int
+	// NRR and NICR are the rotating file sizes consumed.
+	NRR, NICR int
+	// RR and ICR are the allocations behind the specifiers.
+	RR, ICR regalloc.Allocation
+	// Words[φ] lists the instructions issuing at kernel cycle φ.
+	Words [][]*Inst
+}
+
+// Generate allocates rotating registers for the schedule and emits the
+// kernel. The schedule must be complete and legal.
+func Generate(l *ir.Loop, s *ir.Schedule) (*Kernel, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("codegen: incomplete schedule for %s", l.Name)
+	}
+	rrRanges := lifetime.Ranges(l, s, ir.RR)
+	icrRanges := lifetime.Ranges(l, s, ir.ICR)
+	// Live-out values must survive until the epilogue reads them: extend
+	// their allocation ranges to the iteration makespan so no later
+	// instance of any value can reuse the final instance's register
+	// before every in-flight write has landed. This is an allocation
+	// cost only — the paper's MaxLive pressure metric (def to last
+	// in-loop use) is reported unchanged by package lifetime.
+	makespan := s.Makespan(l)
+	extend := func(ranges []lifetime.Range) {
+		for i := range ranges {
+			if l.Value(ranges[i].Val).LiveOut && ranges[i].End < makespan {
+				ranges[i].End = makespan
+			}
+		}
+	}
+	extend(rrRanges)
+	extend(icrRanges)
+	rr := regalloc.Allocate(rrRanges, s.II, regalloc.FirstFit, regalloc.StartTime)
+	icr := regalloc.Allocate(icrRanges, s.II, regalloc.FirstFit, regalloc.StartTime)
+	if err := regalloc.Verify(rrRanges, s.II, rr); err != nil {
+		return nil, fmt.Errorf("codegen: RR allocation: %w", err)
+	}
+	if err := regalloc.Verify(icrRanges, s.II, icr); err != nil {
+		return nil, fmt.Errorf("codegen: ICR allocation: %w", err)
+	}
+
+	k := &Kernel{
+		Loop: l, II: s.II, Stages: s.Stages(),
+		NRR: rr.N, NICR: icr.N,
+		RR: rr, ICR: icr,
+		Words: make([][]*Inst, s.II),
+	}
+	// File sizes must cover every specifier: off = r + ω + σ can reach
+	// beyond N; the specifier arithmetic is modular, so N just needs to
+	// be ≥ 1. Keep N at the allocation size (power-of-two rounding is a
+	// hardware concern, not a correctness one).
+
+	spec := func(o ir.Operand, stage int) (Spec, error) {
+		v := l.Value(o.Val)
+		if v.File == ir.GPR {
+			return Spec{File: ir.GPR, Val: o.Val}, nil
+		}
+		alloc := &rr
+		if v.File == ir.ICR {
+			alloc = &icr
+		}
+		off, ok := alloc.Offset[o.Val]
+		if !ok {
+			return Spec{}, fmt.Errorf("codegen: value %s has no rotating allocation", v.Name)
+		}
+		n := alloc.N
+		return Spec{
+			File:  v.File,
+			Off:   mod(off+o.Omega+stage, n),
+			Val:   o.Val,
+			Omega: o.Omega,
+		}, nil
+	}
+
+	for _, op := range l.Ops {
+		stage := s.Stage(op.ID)
+		in := &Inst{Op: op, Stage: stage}
+		for _, a := range op.Args {
+			sp, err := spec(a, stage)
+			if err != nil {
+				return nil, err
+			}
+			in.Srcs = append(in.Srcs, sp)
+		}
+		if op.Pred != nil {
+			sp, err := spec(*op.Pred, stage)
+			if err != nil {
+				return nil, err
+			}
+			in.Pred = &sp
+		}
+		if op.Result != ir.None {
+			v := l.Value(op.Result)
+			alloc := &rr
+			if v.File == ir.ICR {
+				alloc = &icr
+			}
+			off, ok := alloc.Offset[op.Result]
+			if !ok {
+				return nil, fmt.Errorf("codegen: result %s has no rotating allocation", v.Name)
+			}
+			sp := Spec{File: v.File, Off: mod(off+stage, alloc.N), Val: op.Result}
+			in.Dst = &sp
+		}
+		phi := s.Offset(op.ID)
+		k.Words[phi] = append(k.Words[phi], in)
+	}
+	return k, nil
+}
+
+func mod(a, m int) int {
+	if m <= 0 {
+		return 0
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// String renders the kernel as annotated VLIW assembly.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: II=%d stages=%d RR=%d ICR=%d\n",
+		k.Loop.Name, k.II, k.Stages, k.NRR, k.NICR)
+	for phi, word := range k.Words {
+		fmt.Fprintf(&b, "  cycle %d:\n", phi)
+		for _, in := range word {
+			fmt.Fprintf(&b, "    [s%d] %s", in.Stage, k.Loop.FormatOp(in.Op))
+			if in.Dst != nil {
+				fmt.Fprintf(&b, "  dst=%s", specString(*in.Dst))
+			}
+			for i, s := range in.Srcs {
+				fmt.Fprintf(&b, " src%d=%s", i, specString(s))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func specString(s Spec) string {
+	if s.File == ir.GPR {
+		return fmt.Sprintf("gpr(v%d)", s.Val)
+	}
+	return fmt.Sprintf("%v[icp+%d]", s.File, s.Off)
+}

@@ -1,0 +1,146 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+)
+
+// MVE implements the paper's alternative to rotating register files
+// (Section 2.3): modulo variable expansion. Without hardware rotation, a
+// value live longer than II cycles cannot target the same register in
+// adjacent iterations, so the kernel is unrolled and the duplicate
+// register specifiers renamed — "this modulo variable expansion
+// technique can result in a large amount of code expansion", which the
+// CodeExpansion experiment quantifies against the kernel-only schema.
+//
+// Each value v needs k_v = ⌈lifetime/II⌉ static registers; iteration i
+// writes slot i mod k_v. The kernel is unrolled U = lcm(k_v) times so
+// every unroll copy addresses fixed slots.
+
+// MVEInst is one operation in one unroll copy, with static slot operands.
+type MVEInst struct {
+	Op    *ir.Op
+	Stage int
+	// Srcs[j] is the slot of value Op.Args[j] to read; SrcVals mirror
+	// the value ids. Dst is the slot written (-1 if no result).
+	Srcs []int
+	Dst  int
+	Pred int // predicate slot, -1 if unguarded
+}
+
+// MVEKernel is the unrolled, statically-renamed loop body.
+type MVEKernel struct {
+	Loop   *ir.Loop
+	II     int
+	Stages int
+	Unroll int // U: the code expansion factor vs the kernel-only schema
+	// Slots[v] is the number of static registers value v needs (k_v).
+	Slots map[ir.ValueID]int
+	// TotalRegs is Σ k_v over RR values: the static register cost.
+	TotalRegs int
+	// Words[u][φ] lists instructions at cycle φ of unroll copy u.
+	Words [][][]*MVEInst
+}
+
+// MaxUnroll bounds the expansion; loops needing more (possible only with
+// extreme lifetime mixes) are reported as errors rather than silently
+// exploding the code.
+const MaxUnroll = 256
+
+// GenerateMVE lowers a schedule to modulo-variable-expanded code.
+func GenerateMVE(l *ir.Loop, s *ir.Schedule) (*MVEKernel, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("codegen: incomplete schedule for %s", l.Name)
+	}
+	slots := map[ir.ValueID]int{}
+	total := 0
+	for _, file := range []ir.RegFile{ir.RR, ir.ICR} {
+		for _, r := range lifetime.Ranges(l, s, file) {
+			k := (r.Len() + s.II - 1) / s.II
+			if k < 1 {
+				k = 1
+			}
+			slots[r.Val] = k
+			if file == ir.RR {
+				total += k
+			}
+		}
+	}
+	u := 1
+	for _, k := range slots {
+		u = lcm(u, k)
+		if u > MaxUnroll {
+			return nil, fmt.Errorf("codegen: MVE unroll factor exceeds %d for %s", MaxUnroll, l.Name)
+		}
+	}
+
+	k := &MVEKernel{
+		Loop: l, II: s.II, Stages: s.Stages(), Unroll: u,
+		Slots: slots, TotalRegs: total,
+		Words: make([][][]*MVEInst, u),
+	}
+	for copyU := 0; copyU < u; copyU++ {
+		k.Words[copyU] = make([][]*MVEInst, s.II)
+	}
+
+	slot := func(v ir.ValueID, iter int) int {
+		kv := slots[v]
+		if kv == 0 {
+			kv = 1
+		}
+		return mod(iter, kv)
+	}
+
+	for copyU := 0; copyU < u; copyU++ {
+		for _, op := range l.Ops {
+			stage := s.Stage(op.ID)
+			// In kernel pass p ≡ copyU (mod U), this op executes
+			// iteration i = p − stage ≡ copyU − stage (mod U).
+			iter := copyU - stage
+			in := &MVEInst{Op: op, Stage: stage, Dst: -1, Pred: -1}
+			for _, a := range op.Args {
+				v := l.Value(a.Val)
+				if v.File == ir.GPR {
+					in.Srcs = append(in.Srcs, -1) // static, no slot
+					continue
+				}
+				in.Srcs = append(in.Srcs, slot(a.Val, iter-a.Omega))
+			}
+			if op.Pred != nil {
+				in.Pred = slot(op.Pred.Val, iter-op.Pred.Omega)
+			}
+			if op.Result != ir.None {
+				in.Dst = slot(op.Result, iter)
+			}
+			phi := s.Offset(op.ID)
+			k.Words[copyU][phi] = append(k.Words[copyU][phi], in)
+		}
+	}
+	return k, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// String renders a summary plus the first unroll copy.
+func (k *MVEKernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mve kernel %s: II=%d stages=%d unroll=%d staticRegs=%d (code %d words vs %d rotating)\n",
+		k.Loop.Name, k.II, k.Stages, k.Unroll, k.TotalRegs, k.Unroll*k.II, k.II)
+	for phi, word := range k.Words[0] {
+		fmt.Fprintf(&b, "  copy0 cycle %d:\n", phi)
+		for _, in := range word {
+			fmt.Fprintf(&b, "    [s%d] %s dst=%d srcs=%v\n", in.Stage, k.Loop.FormatOp(in.Op), in.Dst, in.Srcs)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package core is the top-level API of the library: it takes a loop body
+// and produces everything the paper's compiler produced — a modulo
+// schedule at (or near) the minimum initiation interval, its lower
+// bounds, register-pressure measurements against the schedule-independent
+// MinAvg bound, a rotating-register allocation, and kernel-only VLIW
+// code — plus a differential verifier that executes the generated kernel
+// on the cycle-accurate simulator and compares it against the sequential
+// reference interpreter.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/mindist"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/semantics"
+	"repro/internal/vliw"
+)
+
+// SchedulerName selects a scheduling policy.
+type SchedulerName string
+
+// The available schedulers.
+const (
+	SchedSlack    SchedulerName = "slack" // the paper's bidirectional slack scheduler
+	SchedSlackUni SchedulerName = "slack-unidirectional"
+	SchedCydrome  SchedulerName = "cydrome" // the baseline "Old Scheduler"
+	SchedList     SchedulerName = "list"    // no-backtracking list scheduler
+)
+
+// Schedulers lists every policy name, paper's first.
+func Schedulers() []SchedulerName {
+	return []SchedulerName{SchedSlack, SchedSlackUni, SchedCydrome, SchedList}
+}
+
+// Options configures a compilation.
+type Options struct {
+	Scheduler SchedulerName // default SchedSlack
+	Config    sched.Config
+	// SkipCodegen stops after scheduling and pressure measurement
+	// (the benchmark harness schedules thousands of loops and does not
+	// need kernels for most experiments).
+	SkipCodegen bool
+}
+
+// Compiled is the result of compiling one loop.
+type Compiled struct {
+	Loop   *ir.Loop
+	Result *sched.Result
+
+	// Pressure measurements (only when scheduling succeeded).
+	RR     lifetime.Pressure // RR-file pressure; RR.MaxLive is the paper's metric
+	MinAvg int               // schedule-independent lower bound at the achieved II
+	ICR    int               // ICR predicate usage (Figure 8)
+	GPRs   int               // loop invariants (Figure 7)
+
+	// Kernel is the generated code (nil when SkipCodegen or failure).
+	Kernel *codegen.Kernel
+}
+
+// OK reports whether a feasible schedule was found.
+func (c *Compiled) OK() bool { return c.Result != nil && c.Result.OK() }
+
+// Compile schedules the loop and, by default, generates kernel code.
+func Compile(l *ir.Loop, opt Options) (*Compiled, error) {
+	if opt.Scheduler == "" {
+		opt.Scheduler = SchedSlack
+	}
+	var (
+		res *sched.Result
+		err error
+	)
+	switch opt.Scheduler {
+	case SchedSlack:
+		res, err = sched.Slack(opt.Config).Schedule(l)
+	case SchedSlackUni:
+		res, err = sched.SlackUnidirectional(opt.Config).Schedule(l)
+	case SchedCydrome:
+		res, err = sched.Cydrome(opt.Config).Schedule(l)
+	case SchedList:
+		res, err = sched.ListSchedule(l, opt.Config)
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", opt.Scheduler)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Loop: l, Result: res, GPRs: l.GPRCount()}
+	if !res.OK() {
+		return c, nil
+	}
+	s := res.Schedule
+	c.RR = lifetime.Measure(l, s, ir.RR)
+	c.ICR = lifetime.ICRUsage(l, s)
+	md := res.MinDist
+	if md == nil || md.II != s.II {
+		md, err = mindist.Compute(l, s.II)
+		if err != nil {
+			return nil, fmt.Errorf("core: recomputing MinDist: %w", err)
+		}
+	}
+	c.MinAvg = mindist.MinAvg(l, md, ir.RR)
+	if !opt.SkipCodegen {
+		k, err := codegen.Generate(l, s)
+		if err != nil {
+			return nil, err
+		}
+		c.Kernel = k
+	}
+	return c, nil
+}
+
+// VerifyExecution runs the generated kernel on the VLIW simulator and
+// the loop on the sequential interpreter, and reports any divergence in
+// memory, live-out values, or executed-operation counts. It is the
+// repository's end-to-end correctness check.
+func VerifyExecution(c *Compiled, env *rt.Env, trips int) error {
+	if c.Kernel == nil {
+		return fmt.Errorf("core: no kernel to verify for %s", c.Loop.Name)
+	}
+	want, err := interp.Run(c.Loop, env, trips)
+	if err != nil {
+		return fmt.Errorf("core: interpreter: %w", err)
+	}
+	got, err := vliw.Run(c.Kernel, env, trips, vliw.Config{Paranoid: true})
+	if err != nil {
+		return fmt.Errorf("core: simulator: %w", err)
+	}
+	if len(want.Mem) != len(got.Mem) {
+		return fmt.Errorf("core: memory size mismatch: %d vs %d", len(want.Mem), len(got.Mem))
+	}
+	for i := range want.Mem {
+		if !semantics.Equal(want.Mem[i], got.Mem[i]) {
+			return fmt.Errorf("core: %s: memory[%d] differs: interp %+v, vliw %+v",
+				c.Loop.Name, i, want.Mem[i], got.Mem[i])
+		}
+	}
+	for v, w := range want.LiveOut {
+		g, ok := got.LiveOut[v]
+		if !ok {
+			return fmt.Errorf("core: %s: live-out %s missing from simulation", c.Loop.Name, c.Loop.Value(v).Name)
+		}
+		if !semantics.Equal(w, g) {
+			return fmt.Errorf("core: %s: live-out %s differs: interp %+v, vliw %+v",
+				c.Loop.Name, c.Loop.Value(v).Name, w, g)
+		}
+	}
+	if want.Executed != got.Executed {
+		return fmt.Errorf("core: %s: executed-op count differs: interp %d, vliw %d",
+			c.Loop.Name, want.Executed, got.Executed)
+	}
+	return nil
+}

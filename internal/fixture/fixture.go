@@ -1,0 +1,197 @@
+// Package fixture constructs well-understood loop bodies used across the
+// test suites and examples, including the paper's running example
+// (Figure 1), whose lifetimes, LiveVector and bounds the paper works out
+// by hand — those hand-computed numbers anchor our analyses.
+package fixture
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Sample builds the loop of Figure 1 after load/store elimination:
+//
+//	do i = 3, n
+//	  x(i) = x(i-1) + y(i-2)
+//	  y(i) = y(i-1) + x(i-2)
+//	end do
+//
+// The cross-iteration loads have been forwarded through registers
+// (Section 2.3), so each iteration is two floating adds, two stores, two
+// address increments, and the loop-closing brtop. With II = 2, scheduling
+// the x-add at cycle 0 and the y-add at cycle 1 reproduces the paper's
+// lifetimes: x(i) live over [0,5) and y(i) live over [1,4), giving
+// LiveVector ⟨4,4⟩ (Figures 3 and 4).
+func Sample(m *machine.Desc) *ir.Loop {
+	l := ir.NewLoop("sample", m)
+	x := l.NewValue("x", ir.RR, ir.Float)
+	y := l.NewValue("y", ir.RR, ir.Float)
+	px := l.NewValue("px", ir.RR, ir.Addr)
+	py := l.NewValue("py", ir.RR, ir.Addr)
+	one := l.Const("one", ir.Addr, ir.IntS(1))
+
+	// x = x[-1] + y[-2]
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: x.ID, Omega: 1}, {Val: y.ID, Omega: 2}}, x.ID)
+	// y = y[-1] + x[-2]
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: y.ID, Omega: 1}, {Val: x.ID, Omega: 2}}, y.ID)
+	// px = px[-1] + 1 ; py = py[-1] + 1
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: px.ID, Omega: 1}, {Val: one.ID}}, px.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: py.ID, Omega: 1}, {Val: one.ID}}, py.ID)
+	// store x -> (px) ; store y -> (py)
+	l.NewOp(machine.Store, []ir.Operand{{Val: px.ID}, {Val: x.ID}}, ir.None)
+	l.NewOp(machine.Store, []ir.Operand{{Val: py.ID}, {Val: y.ID}}, ir.None)
+	l.NewOp(machine.BrTop, nil, ir.None)
+
+	x.LiveOut = true
+	y.LiveOut = true
+	l.TripCount = 998
+	l.MustFinalize()
+	return l
+}
+
+// SampleCore builds just the two-add recurrence core of Figure 1 (no
+// stores, pointers or brtop), the minimal body on which the paper works
+// out lifetimes x:[0,5) and y:[1,4) at II = 2.
+func SampleCore(m *machine.Desc) *ir.Loop {
+	l := ir.NewLoop("sample-core", m)
+	x := l.NewValue("x", ir.RR, ir.Float)
+	y := l.NewValue("y", ir.RR, ir.Float)
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: x.ID, Omega: 1}, {Val: y.ID, Omega: 2}}, x.ID)
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: y.ID, Omega: 1}, {Val: x.ID, Omega: 2}}, y.ID)
+	x.LiveOut = true
+	y.LiveOut = true
+	l.MustFinalize()
+	return l
+}
+
+// Daxpy builds y(i) = y(i) + a*x(i): a recurrence-free streaming loop
+// (loads, a multiply, an add, a store, pointer bumps, brtop). Its MII is
+// purely resource-constrained.
+func Daxpy(m *machine.Desc) *ir.Loop {
+	l := ir.NewLoop("daxpy", m)
+	a := l.NewValue("a", ir.GPR, ir.Float)
+	px := l.NewValue("px", ir.RR, ir.Addr)
+	py := l.NewValue("py", ir.RR, ir.Addr)
+	xv := l.NewValue("xv", ir.RR, ir.Float)
+	yv := l.NewValue("yv", ir.RR, ir.Float)
+	ax := l.NewValue("ax", ir.RR, ir.Float)
+	s := l.NewValue("s", ir.RR, ir.Float)
+	one := l.Const("one", ir.Addr, ir.IntS(1))
+
+	l.NewOp(machine.Load, []ir.Operand{{Val: px.ID, Omega: 1}}, xv.ID)
+	l.NewOp(machine.Load, []ir.Operand{{Val: py.ID, Omega: 1}}, yv.ID)
+	l.NewOp(machine.FMul, []ir.Operand{{Val: a.ID}, {Val: xv.ID}}, ax.ID)
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: yv.ID}, {Val: ax.ID}}, s.ID)
+	st := l.NewOp(machine.Store, []ir.Operand{{Val: py.ID, Omega: 1}, {Val: s.ID}}, ir.None)
+	ld := l.Ops[1]
+	// The store to y(i) must stay ordered after the load of y(i) from
+	// the same address in the same iteration (anti) and before the next
+	// iteration's accesses only via distinct addresses (pointers bump),
+	// so a single same-iteration anti arc suffices.
+	l.AddDep(ir.Dep{From: ld.ID, To: st.ID, Latency: 0, Omega: 0, Kind: ir.DepMem})
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: px.ID, Omega: 1}, {Val: one.ID}}, px.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: py.ID, Omega: 1}, {Val: one.ID}}, py.ID)
+	l.NewOp(machine.BrTop, nil, ir.None)
+	l.TripCount = 1000
+	l.MustFinalize()
+	return l
+}
+
+// Reduction builds s = s + x(i)*y(i): a dot product with a self-recurrence
+// accumulator that is not referenced until the loop exits — the example
+// Section 5.2 gives of an operation with neither stretchable inputs nor
+// outputs.
+func Reduction(m *machine.Desc) *ir.Loop {
+	l := ir.NewLoop("dot", m)
+	px := l.NewValue("px", ir.RR, ir.Addr)
+	py := l.NewValue("py", ir.RR, ir.Addr)
+	xv := l.NewValue("xv", ir.RR, ir.Float)
+	yv := l.NewValue("yv", ir.RR, ir.Float)
+	p := l.NewValue("p", ir.RR, ir.Float)
+	s := l.NewValue("s", ir.RR, ir.Float)
+	one := l.Const("one", ir.Addr, ir.IntS(1))
+
+	l.NewOp(machine.Load, []ir.Operand{{Val: px.ID, Omega: 1}}, xv.ID)
+	l.NewOp(machine.Load, []ir.Operand{{Val: py.ID, Omega: 1}}, yv.ID)
+	l.NewOp(machine.FMul, []ir.Operand{{Val: xv.ID}, {Val: yv.ID}}, p.ID)
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: s.ID, Omega: 1}, {Val: p.ID}}, s.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: px.ID, Omega: 1}, {Val: one.ID}}, px.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: py.ID, Omega: 1}, {Val: one.ID}}, py.ID)
+	l.NewOp(machine.BrTop, nil, ir.None)
+	s.LiveOut = true
+	l.TripCount = 1000
+	l.MustFinalize()
+	return l
+}
+
+// Divide builds x(i) = y(i)/z(i) + sqrt(y(i)): a loop dominated by the
+// non-pipelined divider, whose 17- and 21-cycle reservation patterns
+// drive ResMII to 38 and exercise the divider slack-halving rule.
+func Divide(m *machine.Desc) *ir.Loop {
+	l := ir.NewLoop("divide", m)
+	py := l.NewValue("py", ir.RR, ir.Addr)
+	pz := l.NewValue("pz", ir.RR, ir.Addr)
+	pxo := l.NewValue("px", ir.RR, ir.Addr)
+	yv := l.NewValue("yv", ir.RR, ir.Float)
+	zv := l.NewValue("zv", ir.RR, ir.Float)
+	q := l.NewValue("q", ir.RR, ir.Float)
+	r := l.NewValue("r", ir.RR, ir.Float)
+	sum := l.NewValue("sum", ir.RR, ir.Float)
+	one := l.Const("one", ir.Addr, ir.IntS(1))
+
+	l.NewOp(machine.Load, []ir.Operand{{Val: py.ID, Omega: 1}}, yv.ID)
+	l.NewOp(machine.Load, []ir.Operand{{Val: pz.ID, Omega: 1}}, zv.ID)
+	l.NewOp(machine.FDiv, []ir.Operand{{Val: yv.ID}, {Val: zv.ID}}, q.ID)
+	l.NewOp(machine.FSqrt, []ir.Operand{{Val: yv.ID}}, r.ID)
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: q.ID}, {Val: r.ID}}, sum.ID)
+	l.NewOp(machine.Store, []ir.Operand{{Val: pxo.ID, Omega: 1}, {Val: sum.ID}}, ir.None)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: py.ID, Omega: 1}, {Val: one.ID}}, py.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: pz.ID, Omega: 1}, {Val: one.ID}}, pz.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: pxo.ID, Omega: 1}, {Val: one.ID}}, pxo.ID)
+	l.NewOp(machine.BrTop, nil, ir.None)
+	l.TripCount = 500
+	l.MustFinalize()
+	return l
+}
+
+// Conditional builds an if-converted body:
+//
+//	if (x(i) > 0) then t = x(i)*s1 else t = x(i)*s2 ; y(i) = t
+//
+// The compare produces an ICR predicate; both multiplies are predicated
+// (one on the false sense) and define the same merge value t, the
+// multi-def form predicated hardware uses instead of a select.
+func Conditional(m *machine.Desc) *ir.Loop {
+	l := ir.NewLoop("conditional", m)
+	px := l.NewValue("px", ir.RR, ir.Addr)
+	pyo := l.NewValue("py", ir.RR, ir.Addr)
+	xv := l.NewValue("xv", ir.RR, ir.Float)
+	s1 := l.NewValue("s1", ir.GPR, ir.Float)
+	s2 := l.NewValue("s2", ir.GPR, ir.Float)
+	zero := l.Const("zero", ir.Float, ir.FloatS(0))
+	p := l.NewValue("p", ir.ICR, ir.Pred)
+	t := l.NewValue("t", ir.RR, ir.Float)
+	one := l.Const("one", ir.Addr, ir.IntS(1))
+
+	l.NewOp(machine.Load, []ir.Operand{{Val: px.ID, Omega: 1}}, xv.ID)
+	l.NewOp(machine.FCmpGT, []ir.Operand{{Val: xv.ID}, {Val: zero.ID}}, p.ID)
+	thenOp := l.NewOp(machine.FMul, []ir.Operand{{Val: xv.ID}, {Val: s1.ID}}, t.ID)
+	thenOp.Pred = &ir.Operand{Val: p.ID}
+	elseOp := l.NewOp(machine.FMul, []ir.Operand{{Val: xv.ID}, {Val: s2.ID}}, t.ID)
+	elseOp.Pred = &ir.Operand{Val: p.ID}
+	elseOp.PredNeg = true
+	l.NewOp(machine.Store, []ir.Operand{{Val: pyo.ID, Omega: 1}, {Val: t.ID}}, ir.None)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: px.ID, Omega: 1}, {Val: one.ID}}, px.ID)
+	l.NewOp(machine.AAdd, []ir.Operand{{Val: pyo.ID, Omega: 1}, {Val: one.ID}}, pyo.ID)
+	l.NewOp(machine.BrTop, nil, ir.None)
+	l.NumBB = 4
+	l.HasConditional = true
+	l.TripCount = 1000
+	l.MustFinalize()
+	return l
+}
+
+// All returns every fixture loop on the given machine.
+func All(m *machine.Desc) []*ir.Loop {
+	return []*ir.Loop{Sample(m), SampleCore(m), Daxpy(m), Reduction(m), Divide(m), Conditional(m)}
+}

@@ -1,0 +1,66 @@
+package fixture
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestAllFixturesWellFormed(t *testing.T) {
+	m := machine.Cydra()
+	names := map[string]bool{}
+	for _, l := range All(m) {
+		if !l.Finalized() {
+			t.Errorf("%s: not finalized", l.Name)
+		}
+		if names[l.Name] {
+			t.Errorf("duplicate fixture name %s", l.Name)
+		}
+		names[l.Name] = true
+		if l.BrTop() == nil && l.Name != "sample-core" {
+			t.Errorf("%s: missing brtop", l.Name)
+		}
+	}
+}
+
+// Every runnable fixture's environment must keep all addresses in
+// bounds for its full trip count — checked here statically against the
+// recorded pointer initials, so an env regression fails fast rather
+// than as an obscure interpreter error.
+func TestRunnableEnvsInBounds(t *testing.T) {
+	m := machine.Cydra()
+	for _, r := range Runnables(m) {
+		for key, val := range r.Env.Init {
+			v := r.Loop.Value(key.Val)
+			if v.Type != ir.Addr {
+				continue
+			}
+			// Pointers advance one element per iteration.
+			last := val.I + int64(r.Trips)
+			if val.I < -1 || last > int64(len(r.Env.Mem)) {
+				t.Errorf("%s: pointer %s spans [%d,%d] outside memory of %d",
+					r.Loop.Name, v.Name, val.I, last, len(r.Env.Mem))
+			}
+		}
+		if r.Trips < 1 {
+			t.Errorf("%s: degenerate trip count", r.Loop.Name)
+		}
+	}
+}
+
+func TestSampleMatchesPaperStructure(t *testing.T) {
+	m := machine.Cydra()
+	l := Sample(m)
+	// Figure 1 after load/store elimination: 2 adds, 2 stores, 2 address
+	// bumps, brtop — and no loads at all.
+	if n := l.CountOps(func(op *ir.Op) bool { return op.Opcode == machine.Load }); n != 0 {
+		t.Errorf("sample loop should have no loads, got %d", n)
+	}
+	if len(l.Ops) != 7 {
+		t.Errorf("sample loop has %d ops, want 7", len(l.Ops))
+	}
+	if !l.HasRecurrence() {
+		t.Error("cross-coupled recurrence expected")
+	}
+}

@@ -1,0 +1,149 @@
+package fixture
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rt"
+)
+
+// Runnable pairs a loop with a concrete execution environment, so the
+// differential tests (interpreter vs generated kernel on the simulator)
+// have well-defined inputs.
+type Runnable struct {
+	Loop  *ir.Loop
+	Env   *rt.Env
+	Trips int
+}
+
+// value looks a value up by name; fixture construction controls names.
+func value(l *ir.Loop, name string) *ir.Value {
+	for _, v := range l.Values {
+		if v.Name == name {
+			return v
+		}
+	}
+	panic("fixture: no value named " + name)
+}
+
+// RunnableSample is the Figure 1 loop with both arrays materialized:
+// x and y live at bases 0 and 64; the recurrences start from x(1), x(2),
+// y(1), y(2) preheader instances, which also seed the memory image.
+func RunnableSample(m *machine.Desc) Runnable {
+	l := Sample(m)
+	const trips = 40
+	mem := make([]ir.Scalar, 128)
+	// x(1)=0.25 x(2)=0.5 ; y(1)=1.5 y(2)=2.25 (indices 0,1 and 64,65).
+	mem[0], mem[1] = ir.FloatS(0.25), ir.FloatS(0.5)
+	mem[64], mem[65] = ir.FloatS(1.5), ir.FloatS(2.25)
+	env := &rt.Env{
+		Mem: mem,
+		Init: map[rt.InstKey]ir.Scalar{
+			{Val: value(l, "x").ID, Iter: -1}: ir.FloatS(0.5),
+			{Val: value(l, "x").ID, Iter: -2}: ir.FloatS(0.25),
+			{Val: value(l, "y").ID, Iter: -1}: ir.FloatS(2.25),
+			{Val: value(l, "y").ID, Iter: -2}: ir.FloatS(1.5),
+			// First stores land at x(3) → index 2 and y(3) → index 66.
+			{Val: value(l, "px").ID, Iter: -1}: ir.IntS(1),
+			{Val: value(l, "py").ID, Iter: -1}: ir.IntS(65),
+		},
+	}
+	return Runnable{Loop: l, Env: env, Trips: trips}
+}
+
+// RunnableDaxpy streams y += a·x over 48 elements.
+func RunnableDaxpy(m *machine.Desc) Runnable {
+	l := Daxpy(m)
+	const trips = 48
+	mem := make([]ir.Scalar, 128)
+	for i := 0; i < trips; i++ {
+		mem[i] = ir.FloatS(float64(i) * 0.5)        // x
+		mem[64+i] = ir.FloatS(10 + float64(i)*0.25) // y
+	}
+	env := &rt.Env{
+		Mem: mem,
+		GPR: map[ir.ValueID]ir.Scalar{value(l, "a").ID: ir.FloatS(3.0)},
+		Init: map[rt.InstKey]ir.Scalar{
+			{Val: value(l, "px").ID, Iter: -1}: ir.IntS(0),
+			{Val: value(l, "py").ID, Iter: -1}: ir.IntS(64),
+		},
+	}
+	return Runnable{Loop: l, Env: env, Trips: trips}
+}
+
+// RunnableReduction computes a dot product; the accumulator is live-out.
+func RunnableReduction(m *machine.Desc) Runnable {
+	l := Reduction(m)
+	const trips = 32
+	mem := make([]ir.Scalar, 96)
+	for i := 0; i < trips; i++ {
+		mem[i] = ir.FloatS(1 + float64(i%7))
+		mem[48+i] = ir.FloatS(2 - float64(i%5)*0.5)
+	}
+	env := &rt.Env{
+		Mem: mem,
+		Init: map[rt.InstKey]ir.Scalar{
+			{Val: value(l, "px").ID, Iter: -1}: ir.IntS(0),
+			{Val: value(l, "py").ID, Iter: -1}: ir.IntS(48),
+			{Val: value(l, "s").ID, Iter: -1}:  ir.FloatS(0),
+		},
+	}
+	return Runnable{Loop: l, Env: env, Trips: trips}
+}
+
+// RunnableDivide exercises the non-pipelined divider end to end.
+func RunnableDivide(m *machine.Desc) Runnable {
+	l := Divide(m)
+	const trips = 12
+	mem := make([]ir.Scalar, 96)
+	for i := 0; i < trips; i++ {
+		mem[i] = ir.FloatS(float64(i + 1))      // y
+		mem[32+i] = ir.FloatS(float64(2*i + 1)) // z
+	}
+	env := &rt.Env{
+		Mem: mem,
+		Init: map[rt.InstKey]ir.Scalar{
+			{Val: value(l, "py").ID, Iter: -1}: ir.IntS(0),
+			{Val: value(l, "pz").ID, Iter: -1}: ir.IntS(32),
+			{Val: value(l, "px").ID, Iter: -1}: ir.IntS(64),
+		},
+	}
+	return Runnable{Loop: l, Env: env, Trips: trips}
+}
+
+// RunnableConditional exercises predicated execution and the multi-def
+// merge: positive elements scale by s1, the rest by s2.
+func RunnableConditional(m *machine.Desc) Runnable {
+	l := Conditional(m)
+	const trips = 40
+	mem := make([]ir.Scalar, 128)
+	for i := 0; i < trips; i++ {
+		sign := 1.0
+		if i%3 == 0 {
+			sign = -1.0
+		}
+		mem[i] = ir.FloatS(sign * float64(i+1) * 0.5)
+	}
+	env := &rt.Env{
+		Mem: mem,
+		GPR: map[ir.ValueID]ir.Scalar{
+			value(l, "s1").ID: ir.FloatS(2.0),
+			value(l, "s2").ID: ir.FloatS(-0.5),
+		},
+		Init: map[rt.InstKey]ir.Scalar{
+			{Val: value(l, "px").ID, Iter: -1}: ir.IntS(0),
+			{Val: value(l, "py").ID, Iter: -1}: ir.IntS(64),
+		},
+	}
+	return Runnable{Loop: l, Env: env, Trips: trips}
+}
+
+// Runnables returns every runnable fixture on the given machine.
+func Runnables(m *machine.Desc) []Runnable {
+	return []Runnable{
+		RunnableSample(m),
+		RunnableDaxpy(m),
+		RunnableReduction(m),
+		RunnableDivide(m),
+		RunnableConditional(m),
+	}
+}

@@ -1,0 +1,161 @@
+package frontend
+
+import "fmt"
+
+// BaseType is a declared FORTRAN type.
+type BaseType int
+
+const (
+	TInteger BaseType = iota
+	TReal
+)
+
+func (t BaseType) String() string {
+	if t == TInteger {
+		return "integer"
+	}
+	return "real"
+}
+
+// Program is one parsed subroutine.
+type Program struct {
+	Name   string
+	Params []string
+	Decls  []*Decl
+	Body   []Stmt // top-level statements (DO loops and assignments)
+}
+
+// Decl declares one or more names with a type; array names carry a
+// dimension expression (a constant or a parameter name).
+type Decl struct {
+	Type  BaseType
+	Names []DeclName
+	Line  int
+}
+
+// DeclName is one declared identifier, with an optional array dimension.
+type DeclName struct {
+	Name string
+	// Dim is nil for scalars; for arrays it is the declared extent.
+	Dim Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	Pos() int
+}
+
+// DoStmt is a DO loop: do Var = Lo, Hi [, Step] ... end do.
+type DoStmt struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Step Expr // nil means 1
+	Body []Stmt
+	Line int
+}
+
+// AssignStmt is lhs = rhs; Lhs is a VarRef or ArrayRef.
+type AssignStmt struct {
+	Lhs  Expr
+	Rhs  Expr
+	Line int
+}
+
+// IfStmt is a block IF with optional ELSE.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+func (*DoStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+
+func (s *DoStmt) Pos() int     { return s.Line }
+func (s *AssignStmt) Pos() int { return s.Line }
+func (s *IfStmt) Pos() int     { return s.Line }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	Val  float64
+	Line int
+}
+
+// VarRef references a scalar variable (or the loop index).
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// ArrayRef references an array element.
+type ArrayRef struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinExpr is a binary operation; Op is one of + - * / and the relational
+// and logical operators ("<", "<=", ">", ">=", "==", "/=", "&&", "||").
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is unary minus or .not. ("-" or "!").
+type UnExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CallExpr is an intrinsic call: sqrt, abs, max, min, mod, real, int.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*RealLit) exprNode()  {}
+func (*VarRef) exprNode()   {}
+func (*ArrayRef) exprNode() {}
+func (*BinExpr) exprNode()  {}
+func (*UnExpr) exprNode()   {}
+func (*CallExpr) exprNode() {}
+
+func (e *IntLit) Pos() int   { return e.Line }
+func (e *RealLit) Pos() int  { return e.Line }
+func (e *VarRef) Pos() int   { return e.Line }
+func (e *ArrayRef) Pos() int { return e.Line }
+func (e *BinExpr) Pos() int  { return e.Line }
+func (e *UnExpr) Pos() int   { return e.Line }
+func (e *CallExpr) Pos() int { return e.Line }
+
+// Error is a positioned frontend diagnostic.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

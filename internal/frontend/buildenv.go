@@ -1,0 +1,242 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// Binding supplies the runtime inputs of a compiled loop: parameter
+// values, array extents (when not compile-time constants), and an
+// element initializer for the memory image.
+type Binding struct {
+	Ints  map[string]int64
+	Reals map[string]float64
+	// Extents overrides/supplies array extents by name.
+	Extents map[string]int
+	// Fill initializes memory: called with the array name and 1-based
+	// element index. Nil fills zeros.
+	Fill func(array string, index int) ir.Scalar
+}
+
+func (b Binding) intOf(name string) (int64, bool) {
+	v, ok := b.Ints[name]
+	return v, ok
+}
+
+// Layout is the runtime placement of the loop's arrays.
+type Layout struct {
+	Base    map[string]int64
+	Extent  map[string]int
+	MemSize int
+}
+
+// evalBound evaluates a DO bound under the binding.
+func (cl *CompiledLoop) evalBound(e Expr, b Binding) (int64, error) {
+	if e == nil {
+		return 1, nil
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, nil
+	case *VarRef:
+		if v, ok := b.intOf(e.Name); ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("frontend: binding missing integer %q", e.Name)
+	case *UnExpr:
+		if e.Op == "-" {
+			v, err := cl.evalBound(e.X, b)
+			return -v, err
+		}
+	case *BinExpr:
+		l, err := cl.evalBound(e.L, b)
+		if err != nil {
+			return 0, err
+		}
+		r, err := cl.evalBound(e.R, b)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("frontend: zero divisor in bound")
+			}
+			return l / r, nil
+		}
+	}
+	return 0, fmt.Errorf("frontend: unsupported bound expression")
+}
+
+// Arrays returns the names of all arrays the loop touches, sorted.
+func (cl *CompiledLoop) Arrays() []string {
+	set := map[string]bool{}
+	for _, r := range cl.Recipes {
+		if r.Array != "" {
+			set[r.Array] = true
+		}
+	}
+	for name := range cl.ArrayBases {
+		set[name] = true
+	}
+	for key := range cl.ConstAddrs {
+		set[key.Array] = true
+	}
+	// Arrays reached only through non-forwarded affine loads/stores show
+	// up in value names (p.array±c); scan symbols instead: every array
+	// symbol referenced by the loop's unit that appears in a value name
+	// would be fragile, so the lowerer records them in Recipes (affine
+	// pointers always get recipes). ConstAddrs and bases cover the rest.
+	var out []string
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildEnv lays out arrays, fills memory, and seeds GPR live-ins and
+// preheader instances per the lowering's recipes, returning the
+// environment and the concrete trip count.
+func (cl *CompiledLoop) BuildEnv(b Binding) (*rt.Env, *Layout, int, error) {
+	if cl.Loop == nil {
+		return nil, nil, 0, fmt.Errorf("frontend: loop was not lowered: %v", cl.Ineligible)
+	}
+	lov, err := cl.evalBound(cl.Do.Lo, b)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	hiv, err := cl.evalBound(cl.Do.Hi, b)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	stepv, err := cl.evalBound(cl.Do.Step, b)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if stepv == 0 {
+		return nil, nil, 0, fmt.Errorf("frontend: zero step")
+	}
+	trips := int((hiv-lov)/stepv + 1)
+	if trips < 0 {
+		trips = 0
+	}
+
+	// Array layout.
+	layout := &Layout{Base: map[string]int64{}, Extent: map[string]int{}}
+	for _, name := range cl.Arrays() {
+		sym := cl.Unit.Syms[name]
+		extent := 0
+		if sym != nil && sym.Dim != nil {
+			if c, ok := constInt(sym.Dim); ok {
+				extent = int(c)
+			} else if v, err := cl.evalBound(sym.Dim, b); err == nil {
+				extent = int(v)
+			}
+		}
+		if e, ok := b.Extents[name]; ok {
+			extent = e
+		}
+		if extent <= 0 {
+			return nil, nil, 0, fmt.Errorf("frontend: no extent for array %q (declare a constant dimension or bind Extents)", name)
+		}
+		layout.Base[name] = int64(layout.MemSize)
+		layout.Extent[name] = extent
+		layout.MemSize += extent
+	}
+
+	mem := make([]ir.Scalar, layout.MemSize)
+	if b.Fill != nil {
+		for _, name := range cl.Arrays() {
+			base := layout.Base[name]
+			for idx := 1; idx <= layout.Extent[name]; idx++ {
+				mem[base+int64(idx)-1] = b.Fill(name, idx)
+			}
+		}
+	}
+
+	env := &rt.Env{
+		Mem:  mem,
+		GPR:  map[ir.ValueID]ir.Scalar{},
+		Init: map[rt.InstKey]ir.Scalar{},
+	}
+
+	// Invariant scalar live-ins.
+	for name, vid := range cl.Scalars {
+		sym := cl.Unit.Syms[name]
+		if sym.Type == TInteger {
+			v, ok := b.intOf(name)
+			if !ok {
+				return nil, nil, 0, fmt.Errorf("frontend: binding missing integer %q", name)
+			}
+			env.GPR[vid] = ir.IntS(v)
+		} else {
+			v, ok := b.Reals[name]
+			if !ok {
+				return nil, nil, 0, fmt.Errorf("frontend: binding missing real %q", name)
+			}
+			env.GPR[vid] = ir.FloatS(v)
+		}
+	}
+	// Invariant element addresses and array bases.
+	for key, vid := range cl.ConstAddrs {
+		env.GPR[vid] = ir.IntS(layout.Base[key.Array] + key.Index - 1)
+	}
+	for name, vid := range cl.ArrayBases {
+		env.GPR[vid] = ir.IntS(layout.Base[name])
+	}
+
+	// Preheader instances: seed iterations −1..−maxω per recipe, where
+	// maxω is the deepest read of that value in the loop.
+	maxOmega := map[ir.ValueID]int{}
+	for _, op := range cl.Loop.Ops {
+		for _, rd := range op.Reads() {
+			if rd.Omega > maxOmega[rd.Val] {
+				maxOmega[rd.Val] = rd.Omega
+			}
+		}
+	}
+	for _, r := range cl.Recipes {
+		depth := maxOmega[r.Val]
+		for j := 1; j <= depth; j++ {
+			iter := int64(-j)
+			key := rt.InstKey{Val: r.Val, Iter: -j}
+			switch r.Kind {
+			case RecipeAffine:
+				env.Init[key] = ir.IntS(layout.Base[r.Array] + lov + r.C - 1 + iter*stepv)
+			case RecipeMemLoad:
+				addr := layout.Base[r.Array] + lov + r.C - 1 + iter*stepv
+				if addr >= 0 && addr < int64(len(mem)) {
+					env.Init[key] = mem[addr]
+				} // else: reads before the array — stays zero
+			case RecipeScalar:
+				sym := cl.Unit.Syms[r.Scalar]
+				if sym.Type == TInteger {
+					v, ok := b.intOf(r.Scalar)
+					if !ok {
+						return nil, nil, 0, fmt.Errorf("frontend: binding missing initial value for %q", r.Scalar)
+					}
+					env.Init[key] = ir.IntS(v)
+				} else {
+					v, ok := b.Reals[r.Scalar]
+					if !ok {
+						return nil, nil, 0, fmt.Errorf("frontend: binding missing initial value for %q", r.Scalar)
+					}
+					env.Init[key] = ir.FloatS(v)
+				}
+			case RecipeIndex:
+				env.Init[key] = ir.IntS(lov + iter*stepv)
+			}
+		}
+	}
+	return env, layout, trips, nil
+}

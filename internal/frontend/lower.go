@@ -1,0 +1,529 @@
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mii"
+)
+
+// Recipe records how to reconstruct the preheader instance of a
+// loop-carried value at a negative iteration, so runnable environments
+// can be built for any binding (BuildEnv).
+type Recipe struct {
+	Val  ir.ValueID
+	Kind RecipeKind
+	// Affine/MemLoad: instance(iter) relates to address
+	// base(Array) + lo + C − 1 + iter·step (1-based arrays, unit
+	// elements). Affine yields the address itself; MemLoad yields the
+	// initial memory contents at that address.
+	Array string
+	C     int64
+	// Scalar: the instance is the variable's value before the loop.
+	Scalar string
+	// Index: instance(iter) = lo + iter·step (the DO variable itself).
+}
+
+// RecipeKind discriminates Recipe.
+type RecipeKind int
+
+const (
+	RecipeAffine  RecipeKind = iota // address recurrences (pointers)
+	RecipeMemLoad                   // values forwarded out of memory by LSE
+	RecipeScalar                    // scalar recurrences
+	RecipeIndex                     // the DO variable
+)
+
+// MaxForwardOmega caps load/store elimination distance: forwarding
+// across many iterations trades one memory port for ⌈ω·II⌉-cycle
+// lifetimes, and the preheader must materialize ω initial instances.
+const MaxForwardOmega = 6
+
+// CompiledLoop is one innermost DO loop lowered to schedulable IR.
+type CompiledLoop struct {
+	Loop *ir.Loop
+	Do   *DoStmt
+	Unit *Unit
+
+	// Ineligible explains why the loop was not lowered (the paper's
+	// Section 6 criteria); Loop is nil in that case.
+	Ineligible error
+
+	// Trips is the compile-time trip count, or 0 if unknown.
+	Trips int
+
+	// Scalars maps invariant scalar names to their GPR live-in values.
+	Scalars map[string]ir.ValueID
+	// ArrayBases maps array names to GPR base-address values (only for
+	// arrays accessed through non-affine subscripts).
+	ArrayBases map[string]ir.ValueID
+	// ConstAddrs maps (array, subscript) GPR address live-ins for
+	// loop-invariant element accesses.
+	ConstAddrs map[ConstAddrKey]ir.ValueID
+	// Recipes reconstruct preheader instances of loop-carried values.
+	Recipes []Recipe
+	// FinalScalar maps each loop-assigned scalar to the value holding
+	// its end-of-iteration version (live-out).
+	FinalScalar map[string]ir.ValueID
+}
+
+// ConstAddrKey identifies an invariant array element.
+type ConstAddrKey struct {
+	Array string
+	Index int64
+}
+
+// Compile parses, analyzes, and lowers every innermost DO loop of the
+// source, returning one CompiledLoop per loop (eligible or not) in
+// source order.
+func Compile(src string, m *machine.Desc) (*Unit, []*CompiledLoop, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	u, err := Analyze(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*CompiledLoop
+	for _, do := range u.InnermostLoops() {
+		out = append(out, Lower(u, do, m))
+	}
+	return u, out, nil
+}
+
+// Lower lowers one innermost DO loop. Ineligible loops get a nil Loop
+// and a reason.
+func Lower(u *Unit, do *DoStmt, m *machine.Desc) *CompiledLoop {
+	cl := &CompiledLoop{
+		Do: do, Unit: u,
+		Scalars:     map[string]ir.ValueID{},
+		ArrayBases:  map[string]ir.ValueID{},
+		ConstAddrs:  map[ConstAddrKey]ir.ValueID{},
+		FinalScalar: map[string]ir.ValueID{},
+	}
+	lo := &lowerer{u: u, do: do, cl: cl, m: m}
+	if err := lo.run(); err != nil {
+		cl.Ineligible = err
+		cl.Loop = nil
+		return cl
+	}
+	return cl
+}
+
+// lowerer holds per-loop lowering state.
+type lowerer struct {
+	u  *Unit
+	do *DoStmt
+	cl *CompiledLoop
+	m  *machine.Desc
+	l  *ir.Loop
+
+	stepKnown bool
+	step      int64
+	loKnown   bool
+	loVal     int64
+
+	// Predicate context: nil when unpredicated; otherwise the guard and
+	// its sense.
+	pred    *ir.Operand
+	predNeg bool
+
+	// Scalar versioning. A version is an operand (value + omega) because
+	// forwarded loads hand out loop-carried reads directly.
+	assignedScalars map[string]bool
+	scalarCur       map[string]ir.Operand
+	carried         map[string]ir.ValueID // placeholder for prev-iteration final
+
+	// Index variable (materialized lazily).
+	indexVal ir.ValueID
+
+	// Literal/const caches.
+	constCache map[ir.Scalar]ir.ValueID
+
+	// Array machinery.
+	pointers map[ConstAddrKey]ir.ValueID // affine address recurrences
+	cseLoads map[ConstAddrKey]ir.ValueID // unpredicated loads this iteration
+	plan     *accessPlan
+	// accesses emitted, for the dependence pass.
+	emitted []*emittedAccess
+
+	numBB int
+	numIf int
+}
+
+type emittedAccess struct {
+	op      ir.OpID
+	isStore bool
+	array   string
+	aff     affineSub
+	order   int
+}
+
+type affineSub struct {
+	ok   bool  // subscript is i + C
+	hasI bool  // references the loop variable
+	c    int64 // constant offset
+}
+
+// accessPlan is the pre-pass over array references deciding load/store
+// elimination (Section 2.3's register forwarding of cross-iteration
+// array flow).
+type accessPlan struct {
+	// forwarded maps a load's plan key to its source and distance.
+	storeForward map[ConstAddrKey]int // load (array,c) → ω from the array's single store
+	loadForward  map[ConstAddrKey]struct {
+		leaderC int64
+		omega   int
+	}
+	// storeVal is patched after lowering: the value each array's
+	// unconditional store writes (with the omega of the stored operand).
+	storeVal      map[string]ir.ValueID
+	storeValOmega map[string]int
+	// placeholders for store-forwarded reads, patched at the end.
+	storePlaceholder map[string]ir.ValueID
+	// leader load values by (array, c).
+	leaderVal map[ConstAddrKey]ir.ValueID
+}
+
+func (lo *lowerer) run() error {
+	do, u := lo.do, lo.u
+	// Eligibility: basic-block census before if-conversion (Section 6:
+	// at most 30 basic blocks).
+	lo.numBB = 1 + countBBs(do.Body)
+	if lo.numBB > 30 {
+		return errf(do.Pos(), "loop has %d basic blocks before if-conversion (limit 30)", lo.numBB)
+	}
+	if hasNestedDo(do.Body) {
+		return errf(do.Pos(), "not an innermost loop")
+	}
+
+	lo.l = ir.NewLoop(fmt.Sprintf("%s:%d", u.Prog.Name, do.Pos()), lo.m)
+	lo.l.NumBB = lo.numBB
+	lo.assignedScalars = map[string]bool{}
+	lo.scalarCur = map[string]ir.Operand{}
+	lo.carried = map[string]ir.ValueID{}
+	lo.indexVal = -1
+	lo.constCache = map[ir.Scalar]ir.ValueID{}
+	lo.pointers = map[ConstAddrKey]ir.ValueID{}
+	lo.cseLoads = map[ConstAddrKey]ir.ValueID{}
+
+	if c, ok := constInt(do.Lo); ok {
+		lo.loKnown, lo.loVal = true, c
+	}
+	step := int64(1)
+	stepKnown := true
+	if do.Step != nil {
+		step, stepKnown = constInt(do.Step)
+	}
+	lo.step, lo.stepKnown = step, stepKnown
+	if stepKnown && step == 0 {
+		return errf(do.Pos(), "zero DO step")
+	}
+
+	// Trip count when all bounds are literals (Section 6: loops with
+	// fewer than 5 iterations are not worth pipelining).
+	if hi, ok := constInt(do.Hi); ok && lo.loKnown && stepKnown {
+		t := (hi-lo.loVal)/step + 1
+		if t < 0 {
+			t = 0
+		}
+		lo.cl.Trips = int(t)
+		lo.l.TripCount = int(t)
+		if t < 5 {
+			return errf(do.Pos(), "trip count %d < 5: not worth pipelining", t)
+		}
+	}
+
+	collectAssigned(do.Body, lo.assignedScalars)
+	delete(lo.assignedScalars, do.Var) // the index is ours, not a scalar
+
+	lo.planAccesses()
+
+	if err := lo.stmts(do.Body); err != nil {
+		return err
+	}
+	if err := lo.patchCarried(); err != nil {
+		return err
+	}
+	if err := lo.patchStoreForwards(); err != nil {
+		return err
+	}
+	lo.memDeps()
+	lo.l.NewOp(machine.BrTop, nil, ir.None)
+	lo.l.HasConditional = lo.numIf > 0
+
+	// Mark live-outs: every scalar the loop assigns survives it.
+	for name, v := range lo.cl.FinalScalar {
+		_ = name
+		lo.l.Value(v).LiveOut = true
+	}
+
+	if err := lo.l.Finalize(); err != nil {
+		return err
+	}
+	if res := mii.ResMII(lo.l); res > 500 {
+		return errf(do.Pos(), "ResMII %d > 500: not worth pipelining", res)
+	}
+	lo.cl.Loop = lo.l
+	return nil
+}
+
+func countBBs(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *IfStmt:
+			n += 2
+			if len(s.Else) > 0 {
+				n++
+			}
+			n += countBBs(s.Then) + countBBs(s.Else)
+		case *DoStmt:
+			n += 2 + countBBs(s.Body)
+		}
+	}
+	return n
+}
+
+func hasNestedDo(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DoStmt:
+			return true
+		case *IfStmt:
+			if hasNestedDo(s.Then) || hasNestedDo(s.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectAssigned(stmts []Stmt, out map[string]bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if v, ok := s.Lhs.(*VarRef); ok {
+				out[v.Name] = true
+			}
+		case *IfStmt:
+			collectAssigned(s.Then, out)
+			collectAssigned(s.Else, out)
+		}
+	}
+}
+
+func constInt(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *UnExpr:
+		if e.Op == "-" {
+			if v, ok := constInt(e.X); ok {
+				return -v, true
+			}
+		}
+	case *BinExpr:
+		l, lok := constInt(e.L)
+		r, rok := constInt(e.R)
+		if lok && rok {
+			switch e.Op {
+			case "+":
+				return l + r, true
+			case "-":
+				return l - r, true
+			case "*":
+				return l * r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// affineOf classifies a subscript as i + c when possible.
+func (lo *lowerer) affineOf(e Expr) affineSub {
+	var walk func(e Expr) (hasI bool, c int64, ok bool)
+	walk = func(e Expr) (bool, int64, bool) {
+		switch e := e.(type) {
+		case *IntLit:
+			return false, e.Val, true
+		case *VarRef:
+			if e.Name == lo.do.Var {
+				return true, 0, true
+			}
+			return false, 0, false
+		case *UnExpr:
+			if e.Op == "-" {
+				h, c, ok := walk(e.X)
+				if ok && !h {
+					return false, -c, true
+				}
+			}
+			return false, 0, false
+		case *BinExpr:
+			lh, lc, lok := walk(e.L)
+			rh, rc, rok := walk(e.R)
+			if !lok || !rok {
+				return false, 0, false
+			}
+			switch e.Op {
+			case "+":
+				if lh && rh {
+					return false, 0, false
+				}
+				return lh || rh, lc + rc, true
+			case "-":
+				if rh {
+					return false, 0, false
+				}
+				return lh, lc - rc, true
+			}
+			return false, 0, false
+		}
+		return false, 0, false
+	}
+	h, c, ok := walk(e)
+	return affineSub{ok: ok, hasI: h, c: c}
+}
+
+// planAccesses walks the body once, classifying array accesses and
+// deciding forwarding.
+func (lo *lowerer) planAccesses() {
+	type acc struct {
+		aff     affineSub
+		isStore bool
+		pred    bool
+		order   int
+	}
+	order := 0
+	byArray := map[string][]acc{}
+	var walk func(stmts []Stmt, pred bool)
+	var walkExpr func(e Expr, pred bool)
+	walkExpr = func(e Expr, pred bool) {
+		switch e := e.(type) {
+		case *ArrayRef:
+			order++
+			byArray[e.Name] = append(byArray[e.Name], acc{lo.affineOf(e.Index), false, pred, order})
+			walkExpr(e.Index, pred)
+		case *BinExpr:
+			walkExpr(e.L, pred)
+			walkExpr(e.R, pred)
+		case *UnExpr:
+			walkExpr(e.X, pred)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a, pred)
+			}
+		}
+	}
+	walk = func(stmts []Stmt, pred bool) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *AssignStmt:
+				walkExpr(s.Rhs, pred)
+				if ar, ok := s.Lhs.(*ArrayRef); ok {
+					order++
+					byArray[ar.Name] = append(byArray[ar.Name], acc{lo.affineOf(ar.Index), true, pred, order})
+					walkExpr(ar.Index, pred)
+				}
+			case *IfStmt:
+				walkExpr(s.Cond, pred)
+				walk(s.Then, true)
+				walk(s.Else, true)
+			}
+		}
+	}
+	walk(lo.do.Body, false)
+
+	plan := &accessPlan{
+		storeForward: map[ConstAddrKey]int{},
+		loadForward: map[ConstAddrKey]struct {
+			leaderC int64
+			omega   int
+		}{},
+		storeVal:         map[string]ir.ValueID{},
+		storeValOmega:    map[string]int{},
+		storePlaceholder: map[string]ir.ValueID{},
+		leaderVal:        map[ConstAddrKey]ir.ValueID{},
+	}
+	lo.plan = plan
+	if !lo.stepKnown {
+		return
+	}
+	for array, accs := range byArray {
+		allAffineI := true
+		var stores []acc
+		for _, a := range accs {
+			if !a.aff.ok || !a.aff.hasI {
+				allAffineI = false
+			}
+			if a.isStore {
+				stores = append(stores, a)
+			}
+		}
+		if !allAffineI {
+			continue
+		}
+		switch {
+		case len(stores) == 1 && !stores[0].pred:
+			sc := stores[0].aff.c
+			for _, a := range accs {
+				if a.isStore {
+					continue
+				}
+				d := sc - a.aff.c
+				if d == 0 {
+					// Same-iteration forward: legal only when every load
+					// of this element follows the store (the plan key is
+					// per-(array, offset), so one pre-store load, which
+					// must read original memory, disables it).
+					allAfter := true
+					for _, b := range accs {
+						if !b.isStore && b.aff.c == a.aff.c && b.order < stores[0].order {
+							allAfter = false
+						}
+					}
+					if allAfter {
+						plan.storeForward[ConstAddrKey{array, a.aff.c}] = 0
+					}
+					continue
+				}
+				if d > 0 && d%lo.step == 0 {
+					w := d / lo.step
+					if w >= 1 && w <= MaxForwardOmega {
+						plan.storeForward[ConstAddrKey{array, a.aff.c}] = int(w)
+					}
+				}
+			}
+		case len(stores) == 0:
+			// Forward every load from the one reading farthest ahead.
+			leader := accs[0].aff.c
+			for _, a := range accs {
+				if sign(lo.step)*(a.aff.c-leader) > 0 {
+					leader = a.aff.c
+				}
+			}
+			for _, a := range accs {
+				d := leader - a.aff.c
+				if d != 0 && d%lo.step == 0 {
+					w := d / lo.step
+					if w >= 1 && w <= MaxForwardOmega {
+						plan.loadForward[ConstAddrKey{array, a.aff.c}] = struct {
+							leaderC int64
+							omega   int
+						}{leader, int(w)}
+					}
+				}
+			}
+		}
+	}
+}
+
+func sign(x int64) int64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

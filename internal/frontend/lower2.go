@@ -1,0 +1,822 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// guard returns the current predicate operand (nil when unpredicated).
+func (lo *lowerer) guard() (*ir.Operand, bool) {
+	return lo.pred, lo.predNeg
+}
+
+// emit appends an op guarded by the current predicate and returns its
+// result value id (ir.None for stores).
+func (lo *lowerer) emit(code machine.Opcode, args []ir.Operand, name string, file ir.RegFile, typ ir.Type) ir.ValueID {
+	var result ir.ValueID = ir.None
+	if code != machine.Store {
+		result = lo.l.NewValue(name, file, typ).ID
+	}
+	op := lo.l.NewOp(code, args, result)
+	if p, neg := lo.guard(); p != nil {
+		cp := *p
+		op.Pred = &cp
+		op.PredNeg = neg
+	}
+	return result
+}
+
+// emitUnpred appends an op with no guard regardless of context
+// (speculative pure ops, condition cones, leader loads).
+func (lo *lowerer) emitUnpred(code machine.Opcode, args []ir.Operand, name string, file ir.RegFile, typ ir.Type) ir.ValueID {
+	savedP, savedN := lo.pred, lo.predNeg
+	lo.pred, lo.predNeg = nil, false
+	v := lo.emit(code, args, name, file, typ)
+	lo.pred, lo.predNeg = savedP, savedN
+	return v
+}
+
+// constVal interns a literal as a def-less GPR constant.
+func (lo *lowerer) constVal(s ir.Scalar, typ ir.Type, name string) ir.Operand {
+	key := s
+	if v, ok := lo.constCache[key]; ok {
+		return ir.Operand{Val: v}
+	}
+	v := lo.l.Const(name, typ, s)
+	lo.constCache[key] = v.ID
+	return ir.Operand{Val: v.ID}
+}
+
+// invariantScalar returns the GPR live-in for a scalar the loop never
+// assigns (parameters, outer-loop indices, globals).
+func (lo *lowerer) invariantScalar(name string) ir.Operand {
+	if v, ok := lo.cl.Scalars[name]; ok {
+		return ir.Operand{Val: v}
+	}
+	typ := ir.Float
+	if lo.u.Syms[name].Type == TInteger {
+		typ = ir.Int
+	}
+	v := lo.l.NewValue(name, ir.GPR, typ)
+	lo.cl.Scalars[name] = v.ID
+	return ir.Operand{Val: v.ID}
+}
+
+// stepOperand yields the loop step as an operand.
+func (lo *lowerer) stepOperand() ir.Operand {
+	if lo.stepKnown {
+		return lo.constVal(ir.IntS(lo.step), ir.Addr, "step")
+	}
+	op, t, err := lo.expr(lo.do.Step)
+	if err != nil || t != TInteger {
+		// Step was type-checked already; non-integer cannot happen.
+		panic("frontend: bad step")
+	}
+	return op
+}
+
+// indexValue materializes the DO variable as an address recurrence.
+func (lo *lowerer) indexValue() ir.Operand {
+	if lo.indexVal >= 0 {
+		return ir.Operand{Val: lo.indexVal}
+	}
+	v := lo.l.NewValue("i."+lo.do.Var, ir.RR, ir.Int)
+	lo.l.NewOp(machine.AAdd, []ir.Operand{{Val: v.ID, Omega: 1}, lo.stepOperand()}, v.ID)
+	lo.indexVal = v.ID
+	lo.cl.Recipes = append(lo.cl.Recipes, Recipe{Val: v.ID, Kind: RecipeIndex})
+	return ir.Operand{Val: v.ID}
+}
+
+// pointerFor materializes the address recurrence for affine accesses
+// a(i + c): one strength-reduced pointer per distinct (array, c).
+func (lo *lowerer) pointerFor(array string, c int64) ir.Operand {
+	key := ConstAddrKey{array, c}
+	if v, ok := lo.pointers[key]; ok {
+		return ir.Operand{Val: v}
+	}
+	v := lo.l.NewValue(fmt.Sprintf("p.%s%+d", array, c), ir.RR, ir.Addr)
+	lo.l.NewOp(machine.AAdd, []ir.Operand{{Val: v.ID, Omega: 1}, lo.stepOperand()}, v.ID)
+	lo.pointers[key] = v.ID
+	lo.cl.Recipes = append(lo.cl.Recipes, Recipe{Val: v.ID, Kind: RecipeAffine, Array: array, C: c})
+	return ir.Operand{Val: v.ID}
+}
+
+// constAddr returns the GPR live-in address of an invariant element.
+func (lo *lowerer) constAddr(array string, idx int64) ir.Operand {
+	key := ConstAddrKey{array, idx}
+	if v, ok := lo.cl.ConstAddrs[key]; ok {
+		return ir.Operand{Val: v}
+	}
+	v := lo.l.NewValue(fmt.Sprintf("addr.%s(%d)", array, idx), ir.GPR, ir.Addr)
+	lo.cl.ConstAddrs[key] = v.ID
+	return ir.Operand{Val: v.ID}
+}
+
+// arrayBase returns the GPR live-in base address of an array (used only
+// for non-affine subscripts).
+func (lo *lowerer) arrayBase(array string) ir.Operand {
+	if v, ok := lo.cl.ArrayBases[array]; ok {
+		return ir.Operand{Val: v}
+	}
+	v := lo.l.NewValue("base."+array, ir.GPR, ir.Addr)
+	lo.cl.ArrayBases[array] = v.ID
+	return ir.Operand{Val: v.ID}
+}
+
+// storePlaceholder returns (creating on demand) the placeholder value
+// standing for "the value the array's single store writes", patched to
+// the real stored value after lowering.
+func (lo *lowerer) storePlaceholder(array string, typ ir.Type) ir.ValueID {
+	if v, ok := lo.plan.storePlaceholder[array]; ok {
+		return v
+	}
+	v := lo.l.NewValue("fwd."+array, ir.RR, typ)
+	lo.plan.storePlaceholder[array] = v.ID
+	return v.ID
+}
+
+// stmts lowers a statement list under the current guard.
+func (lo *lowerer) stmts(list []Stmt) error {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if err := lo.assign(s); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if err := lo.ifStmt(s); err != nil {
+				return err
+			}
+		case *DoStmt:
+			return errf(s.Pos(), "nested DO reached lowering (bug)")
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) ifStmt(s *IfStmt) error {
+	lo.numIf++
+	cond, err := lo.cond(s.Cond)
+	if err != nil {
+		return err
+	}
+	parentP, parentN := lo.pred, lo.predNeg
+
+	// Combined guards: with no parent the compare value itself guards
+	// both branches (the else side via the negated sense); under a
+	// parent we materialize parent∧p and parent∧¬p.
+	setGuard := func(neg bool) error {
+		if parentP == nil {
+			lo.pred, lo.predNeg = &cond, neg
+			return nil
+		}
+		parent := *parentP
+		if parentN {
+			// Materialize the positive sense of the parent.
+			pv := lo.emitUnpred(machine.PNot, []ir.Operand{parent}, "np", ir.ICR, ir.Pred)
+			parent = ir.Operand{Val: pv}
+		}
+		leaf := cond
+		if neg {
+			nv := lo.emitUnpred(machine.PNot, []ir.Operand{cond}, "nc", ir.ICR, ir.Pred)
+			leaf = ir.Operand{Val: nv}
+		}
+		cv := lo.emitUnpred(machine.PAnd, []ir.Operand{parent, leaf}, "pp", ir.ICR, ir.Pred)
+		lo.pred, lo.predNeg = &ir.Operand{Val: cv}, false
+		return nil
+	}
+
+	if err := setGuard(false); err != nil {
+		return err
+	}
+	if err := lo.stmts(s.Then); err != nil {
+		return err
+	}
+	if len(s.Else) > 0 {
+		if err := setGuard(true); err != nil {
+			return err
+		}
+		if err := lo.stmts(s.Else); err != nil {
+			return err
+		}
+	}
+	lo.pred, lo.predNeg = parentP, parentN
+	return nil
+}
+
+// cond lowers a condition expression to a predicate operand. Condition
+// cones are evaluated speculatively (unpredicated): they read only
+// always-defined values — loads issued fresh and unguarded, scalar
+// merges, and invariants — so speculation is safe.
+func (lo *lowerer) cond(e Expr) (ir.Operand, error) {
+	savedP, savedN := lo.pred, lo.predNeg
+	lo.pred, lo.predNeg = nil, false
+	defer func() { lo.pred, lo.predNeg = savedP, savedN }()
+	return lo.condIn(e)
+}
+
+func (lo *lowerer) condIn(e Expr) (ir.Operand, error) {
+	switch e := e.(type) {
+	case *BinExpr:
+		switch e.Op {
+		case "&&", "||":
+			l, err := lo.condIn(e.L)
+			if err != nil {
+				return l, err
+			}
+			r, err := lo.condIn(e.R)
+			if err != nil {
+				return r, err
+			}
+			code := machine.PAnd
+			if e.Op == "||" {
+				code = machine.POr
+			}
+			return ir.Operand{Val: lo.emit(code, []ir.Operand{l, r}, "p", ir.ICR, ir.Pred)}, nil
+		case "<", "<=", ">", ">=", "==", "/=":
+			lop, lt, err := lo.expr(e.L)
+			if err != nil {
+				return lop, err
+			}
+			rop, rt, err := lo.expr(e.R)
+			if err != nil {
+				return rop, err
+			}
+			t := TInteger
+			if lt == TReal || rt == TReal {
+				t = TReal
+				lop = lo.convert(lop, lt, TReal)
+				rop = lo.convert(rop, rt, TReal)
+			}
+			var code machine.Opcode
+			switch e.Op {
+			case "<":
+				code = pick(t, machine.ICmpLT, machine.FCmpLT)
+			case "<=":
+				code = pick(t, machine.ICmpLE, machine.FCmpLE)
+			case ">":
+				code = pick(t, machine.ICmpGT, machine.FCmpGT)
+			case ">=":
+				code = pick(t, machine.ICmpGE, machine.FCmpGE)
+			case "==":
+				code = pick(t, machine.ICmpEQ, machine.FCmpEQ)
+			default:
+				code = pick(t, machine.ICmpNE, machine.FCmpNE)
+			}
+			return ir.Operand{Val: lo.emit(code, []ir.Operand{lop, rop}, "p", ir.ICR, ir.Pred)}, nil
+		}
+	case *UnExpr:
+		if e.Op == "!" {
+			x, err := lo.condIn(e.X)
+			if err != nil {
+				return x, err
+			}
+			return ir.Operand{Val: lo.emit(machine.PNot, []ir.Operand{x}, "p", ir.ICR, ir.Pred)}, nil
+		}
+	}
+	return ir.Operand{}, errf(e.Pos(), "condition must be a comparison or logical expression")
+}
+
+func pick(t BaseType, i, f machine.Opcode) machine.Opcode {
+	if t == TInteger {
+		return i
+	}
+	return f
+}
+
+func (lo *lowerer) convert(op ir.Operand, from, to BaseType) ir.Operand {
+	if from == to {
+		return op
+	}
+	if to == TReal {
+		return ir.Operand{Val: lo.emit(machine.IToF, []ir.Operand{op}, "cvt", ir.RR, ir.Float)}
+	}
+	return ir.Operand{Val: lo.emit(machine.FToI, []ir.Operand{op}, "cvt", ir.RR, ir.Int)}
+}
+
+// expr lowers an expression, returning its operand and type. Ops emitted
+// here carry the current guard.
+func (lo *lowerer) expr(e Expr) (ir.Operand, BaseType, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return lo.constVal(ir.IntS(e.Val), ir.Int, fmt.Sprintf("c%d", e.Val)), TInteger, nil
+	case *RealLit:
+		return lo.constVal(ir.FloatS(e.Val), ir.Float, fmt.Sprintf("c%g", e.Val)), TReal, nil
+	case *VarRef:
+		if e.Name == lo.do.Var {
+			return lo.indexValue(), TInteger, nil
+		}
+		sym := lo.u.Syms[e.Name]
+		if lo.assignedScalars[e.Name] {
+			return lo.scalarRead(e.Name), sym.Type, nil
+		}
+		return lo.invariantScalar(e.Name), sym.Type, nil
+	case *ArrayRef:
+		return lo.arrayLoad(e)
+	case *BinExpr:
+		return lo.binExpr(e)
+	case *UnExpr:
+		if e.Op == "!" {
+			return ir.Operand{}, TInteger, errf(e.Pos(), ".not. outside a condition")
+		}
+		x, t, err := lo.expr(e.X)
+		if err != nil {
+			return x, t, err
+		}
+		if t == TReal {
+			return ir.Operand{Val: lo.emit(machine.FNeg, []ir.Operand{x}, "neg", ir.RR, ir.Float)}, TReal, nil
+		}
+		zero := lo.constVal(ir.IntS(0), ir.Int, "c0")
+		return ir.Operand{Val: lo.emit(machine.ISub, []ir.Operand{zero, x}, "neg", ir.RR, ir.Int)}, TInteger, nil
+	case *CallExpr:
+		return lo.call(e)
+	}
+	return ir.Operand{}, TReal, errf(e.Pos(), "unsupported expression")
+}
+
+func (lo *lowerer) binExpr(e *BinExpr) (ir.Operand, BaseType, error) {
+	switch e.Op {
+	case "&&", "||", "<", "<=", ">", ">=", "==", "/=":
+		return ir.Operand{}, TInteger, errf(e.Pos(), "logical expression used as a value")
+	}
+	l, lt, err := lo.expr(e.L)
+	if err != nil {
+		return l, lt, err
+	}
+	r, rt, err := lo.expr(e.R)
+	if err != nil {
+		return r, rt, err
+	}
+	t := TInteger
+	if lt == TReal || rt == TReal {
+		t = TReal
+		l = lo.convert(l, lt, TReal)
+		r = lo.convert(r, rt, TReal)
+	}
+	var code machine.Opcode
+	switch e.Op {
+	case "+":
+		code = pick(t, machine.IAdd, machine.FAdd)
+	case "-":
+		code = pick(t, machine.ISub, machine.FSub)
+	case "*":
+		code = pick(t, machine.IMul, machine.FMul)
+	case "/":
+		code = pick(t, machine.IDiv, machine.FDiv)
+	default:
+		return ir.Operand{}, t, errf(e.Pos(), "unsupported operator %q", e.Op)
+	}
+	typ := ir.Int
+	if t == TReal {
+		typ = ir.Float
+	}
+	return ir.Operand{Val: lo.emit(code, []ir.Operand{l, r}, "t", ir.RR, typ)}, t, nil
+}
+
+func (lo *lowerer) call(e *CallExpr) (ir.Operand, BaseType, error) {
+	args := make([]ir.Operand, len(e.Args))
+	types := make([]BaseType, len(e.Args))
+	for i, a := range e.Args {
+		op, t, err := lo.expr(a)
+		if err != nil {
+			return op, t, err
+		}
+		args[i], types[i] = op, t
+	}
+	toReal := func(i int) ir.Operand { return lo.convert(args[i], types[i], TReal) }
+	switch e.Name {
+	case "sqrt":
+		return ir.Operand{Val: lo.emit(machine.FSqrt, []ir.Operand{toReal(0)}, "t", ir.RR, ir.Float)}, TReal, nil
+	case "abs":
+		if types[0] == TInteger {
+			return ir.Operand{}, TInteger, errf(e.Pos(), "integer abs is not supported; use real operands")
+		}
+		return ir.Operand{Val: lo.emit(machine.FAbs, args[:1], "t", ir.RR, ir.Float)}, TReal, nil
+	case "real", "float":
+		return lo.convert(args[0], types[0], TReal), TReal, nil
+	case "int":
+		return lo.convert(args[0], types[0], TInteger), TInteger, nil
+	case "mod":
+		if types[0] != TInteger || types[1] != TInteger {
+			return ir.Operand{}, TInteger, errf(e.Pos(), "mod requires integer operands")
+		}
+		return ir.Operand{Val: lo.emit(machine.IMod, args, "t", ir.RR, ir.Int)}, TInteger, nil
+	case "max", "amax1":
+		return ir.Operand{Val: lo.emit(machine.FMax, []ir.Operand{toReal(0), toReal(1)}, "t", ir.RR, ir.Float)}, TReal, nil
+	case "min", "amin1":
+		return ir.Operand{Val: lo.emit(machine.FMin, []ir.Operand{toReal(0), toReal(1)}, "t", ir.RR, ir.Float)}, TReal, nil
+	}
+	return ir.Operand{}, TReal, errf(e.Pos(), "unknown intrinsic %s", e.Name)
+}
+
+// scalarRead reads a loop-assigned scalar: the current version if one
+// exists this iteration, else the previous iteration's final version via
+// a carried placeholder (patched later).
+func (lo *lowerer) scalarRead(name string) ir.Operand {
+	if cur, ok := lo.scalarCur[name]; ok {
+		return cur
+	}
+	return ir.Operand{Val: lo.carriedPlaceholder(name)}
+}
+
+// carriedPlaceholder is patched to (final version, ω+1) by patchCarried.
+func (lo *lowerer) carriedPlaceholder(name string) ir.ValueID {
+	if v, ok := lo.carried[name]; ok {
+		return v
+	}
+	typ := ir.Float
+	if lo.u.Syms[name].Type == TInteger {
+		typ = ir.Int
+	}
+	v := lo.l.NewValue("carry."+name, ir.RR, typ)
+	lo.carried[name] = v.ID
+	return v.ID
+}
+
+// assign lowers one assignment statement under the current guard.
+func (lo *lowerer) assign(s *AssignStmt) error {
+	switch lhs := s.Lhs.(type) {
+	case *VarRef:
+		if lhs.Name == lo.do.Var {
+			return errf(s.Pos(), "assignment to the DO variable")
+		}
+		sym := lo.u.Syms[lhs.Name]
+		rhs, rt, err := lo.expr(s.Rhs)
+		if err != nil {
+			return err
+		}
+		rhs = lo.convert(rhs, rt, sym.Type)
+		if p, neg := lo.guard(); p != nil {
+			// Predicated assignment: a merge value with two defs under
+			// complementary senses — the Cydra way of joining branches.
+			typ := ir.Float
+			copyOp := machine.FCopy
+			if sym.Type == TInteger {
+				typ, copyOp = ir.Int, machine.Copy
+			}
+			merge := lo.l.NewValue("m."+lhs.Name, ir.RR, typ)
+			old := lo.scalarRead(lhs.Name)
+			d1 := lo.l.NewOp(copyOp, []ir.Operand{rhs}, merge.ID)
+			cp1 := *p
+			d1.Pred, d1.PredNeg = &cp1, neg
+			d2 := lo.l.NewOp(copyOp, []ir.Operand{old}, merge.ID)
+			cp2 := *p
+			d2.Pred, d2.PredNeg = &cp2, !neg
+			lo.scalarCur[lhs.Name] = ir.Operand{Val: merge.ID}
+		} else {
+			lo.scalarCur[lhs.Name] = rhs
+		}
+		return nil
+	case *ArrayRef:
+		sym := lo.u.Syms[lhs.Name]
+		data, dt, err := lo.expr(s.Rhs)
+		if err != nil {
+			return err
+		}
+		data = lo.convert(data, dt, sym.Type)
+		addr, aff, err := lo.address(lhs)
+		if err != nil {
+			return err
+		}
+		op := lo.l.NewOp(machine.Store, []ir.Operand{addr, data}, ir.None)
+		if p, neg := lo.guard(); p != nil {
+			cp := *p
+			op.Pred, op.PredNeg = &cp, neg
+		}
+		lo.emitted = append(lo.emitted, &emittedAccess{op: op.ID, isStore: true, array: lhs.Name, aff: aff, order: len(lo.emitted)})
+		// Remember the stored value for store-forwarded loads.
+		if _, forwards := lo.plan.storePlaceholder[lhs.Name]; forwards || lo.mayForwardStore(lhs.Name) {
+			lo.plan.storeVal[lhs.Name] = data.Val
+			lo.plan.storeValOmega[lhs.Name] = data.Omega
+		}
+		return nil
+	}
+	return errf(s.Pos(), "bad assignment target")
+}
+
+// mayForwardStore reports whether some load of the array was planned to
+// forward from its store.
+func (lo *lowerer) mayForwardStore(array string) bool {
+	for k := range lo.plan.storeForward {
+		if k.Array == array {
+			return true
+		}
+	}
+	return false
+}
+
+// address lowers an array subscript to an address operand.
+func (lo *lowerer) address(ref *ArrayRef) (ir.Operand, affineSub, error) {
+	aff := lo.affineOf(ref.Index)
+	switch {
+	case aff.ok && aff.hasI:
+		return lo.pointerFor(ref.Name, aff.c), aff, nil
+	case aff.ok:
+		return lo.constAddr(ref.Name, aff.c), aff, nil
+	default:
+		sub, t, err := lo.expr(ref.Index)
+		if err != nil {
+			return ir.Operand{}, aff, err
+		}
+		if t != TInteger {
+			return ir.Operand{}, aff, errf(ref.Pos(), "subscript must be integer")
+		}
+		one := lo.constVal(ir.IntS(1), ir.Addr, "c1")
+		off := lo.emit(machine.ASub, []ir.Operand{sub, one}, "off", ir.RR, ir.Addr)
+		addr := lo.emit(machine.AAdd, []ir.Operand{lo.arrayBase(ref.Name), {Val: off}}, "addr", ir.RR, ir.Addr)
+		return ir.Operand{Val: addr}, aff, nil
+	}
+}
+
+// arrayLoad lowers an array read: a forwarded register read when load/
+// store elimination applies, otherwise a Load (CSE'd when unguarded).
+func (lo *lowerer) arrayLoad(ref *ArrayRef) (ir.Operand, BaseType, error) {
+	sym := lo.u.Syms[ref.Name]
+	typ := ir.Float
+	if sym.Type == TInteger {
+		typ = ir.Int
+	}
+	aff := lo.affineOf(ref.Index)
+	key := ConstAddrKey{ref.Name, aff.c}
+	if aff.ok && aff.hasI {
+		if w, ok := lo.plan.storeForward[key]; ok {
+			sp := lo.storePlaceholder(ref.Name, typ)
+			return ir.Operand{Val: sp, Omega: w}, sym.Type, nil
+		}
+		if f, ok := lo.plan.loadForward[key]; ok {
+			leader := lo.leaderLoad(ref.Name, f.leaderC, typ)
+			return ir.Operand{Val: leader, Omega: f.omega}, sym.Type, nil
+		}
+	}
+	// CSE only for unguarded loads; a guarded load may not execute.
+	cacheable := lo.pred == nil && aff.ok
+	if cacheable {
+		if v, ok := lo.cseLoads[key]; ok {
+			return ir.Operand{Val: v}, sym.Type, nil
+		}
+	}
+	addr, aff, err := lo.address(ref)
+	if err != nil {
+		return ir.Operand{}, sym.Type, err
+	}
+	v := lo.emit(machine.Load, []ir.Operand{addr}, "ld."+ref.Name, ir.RR, typ)
+	lo.emitted = append(lo.emitted, &emittedAccess{op: lo.l.Value(v).Defs[0], isStore: false, array: ref.Name, aff: aff, order: len(lo.emitted)})
+	if cacheable {
+		lo.cseLoads[key] = v
+	}
+	return ir.Operand{Val: v}, sym.Type, nil
+}
+
+// leaderLoad emits (once) the unguarded load every other read of the
+// array forwards from, and records its preheader recipe.
+func (lo *lowerer) leaderLoad(array string, c int64, typ ir.Type) ir.ValueID {
+	key := ConstAddrKey{array, c}
+	if v, ok := lo.plan.leaderVal[key]; ok {
+		return v
+	}
+	addr := lo.pointerFor(array, c)
+	v := lo.emitUnpred(machine.Load, []ir.Operand{addr}, "ld."+array, ir.RR, typ)
+	lo.plan.leaderVal[key] = v
+	lo.emitted = append(lo.emitted, &emittedAccess{op: lo.l.Value(v).Defs[0], isStore: false, array: array, aff: affineSub{ok: true, hasI: true, c: c}, order: len(lo.emitted)})
+	lo.cl.Recipes = append(lo.cl.Recipes, Recipe{Val: v, Kind: RecipeMemLoad, Array: array, C: c})
+	// The leader is also this (array, c)'s load for CSE purposes.
+	if lo.pred == nil {
+		lo.cseLoads[key] = v
+	}
+	return v
+}
+
+// patchCarried resolves carried placeholders: every read of
+// "carry.name" becomes a read of the scalar's final version, one
+// iteration back.
+func (lo *lowerer) patchCarried() error {
+	if len(lo.carried) == 0 {
+		// Still record live-out final versions.
+		return lo.finalizeScalars()
+	}
+	final := map[ir.ValueID]ir.Operand{} // placeholder → resolved final
+	for name, ph := range lo.carried {
+		op, err := lo.resolveFinal(name, map[string]bool{})
+		if err != nil {
+			return err
+		}
+		final[ph] = op
+	}
+	rewrite := func(o *ir.Operand) {
+		if f, ok := final[o.Val]; ok {
+			o.Val = f.Val
+			o.Omega += f.Omega + 1
+		}
+	}
+	for _, op := range lo.l.Ops {
+		for i := range op.Args {
+			rewrite(&op.Args[i])
+		}
+		if op.Pred != nil {
+			rewrite(op.Pred)
+		}
+	}
+	return lo.finalizeScalars()
+}
+
+// resolveFinal returns the value anchoring a scalar's end-of-iteration
+// version: always a loop-variant read at distance 0, so that the
+// scalar's carried read is exactly (final, ω=1) and its preheader
+// instance at iteration −1 is exactly the variable's pre-loop value.
+// Copies are materialized when the raw final version is an invariant, a
+// forwarded (ω > 0) read, or another scalar's carried placeholder.
+func (lo *lowerer) resolveFinal(name string, visiting map[string]bool) (ir.Operand, error) {
+	if visiting[name] {
+		return ir.Operand{}, errf(lo.do.Pos(), "unsupported mutual scalar recurrence through %s (swap pattern)", name)
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+
+	cur, ok := lo.scalarCur[name]
+	if !ok {
+		// Read but never assigned on any path this iteration — cannot
+		// happen: assignedScalars gated the placeholder.
+		return ir.Operand{}, errf(lo.do.Pos(), "scalar %s carried but never assigned", name)
+	}
+	// A final version that is another scalar's carried placeholder means
+	// "this scalar ends the iteration holding that one's previous value".
+	for other, ph := range lo.carried {
+		if cur.Val == ph {
+			r, err := lo.resolveFinal(other, visiting)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			cur = ir.Operand{Val: r.Val, Omega: cur.Omega + r.Omega + 1}
+			break
+		}
+	}
+	if v := lo.l.Value(cur.Val); !v.IsVariant() || cur.Omega > 0 {
+		copyOp := machine.FCopy
+		typ := ir.Float
+		if lo.u.Syms[name].Type == TInteger {
+			copyOp, typ = machine.Copy, ir.Int
+		}
+		nv := lo.emitUnpred(copyOp, []ir.Operand{cur}, "fin."+name, ir.RR, typ)
+		cur = ir.Operand{Val: nv}
+	}
+	lo.scalarCur[name] = cur
+	return cur, nil
+}
+
+// finalizeScalars anchors every assigned scalar's final version, records
+// it for live-out marking, and registers a preheader recipe (BuildEnv
+// seeds only the instances actually read).
+func (lo *lowerer) finalizeScalars() error {
+	names := make([]string, 0, len(lo.scalarCur))
+	for name := range lo.scalarCur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur, err := lo.resolveFinal(name, map[string]bool{})
+		if err != nil {
+			return err
+		}
+		lo.cl.FinalScalar[name] = cur.Val
+		lo.cl.Recipes = append(lo.cl.Recipes, Recipe{Val: cur.Val, Kind: RecipeScalar, Scalar: name})
+	}
+	return nil
+}
+
+// patchStoreForwards resolves "fwd.array" placeholders to the stored
+// value and records their preheader recipes.
+func (lo *lowerer) patchStoreForwards() error {
+	if len(lo.plan.storePlaceholder) == 0 {
+		return nil
+	}
+	for array, ph := range lo.plan.storePlaceholder {
+		dv, ok := lo.plan.storeVal[array]
+		if !ok {
+			return errf(lo.do.Pos(), "forwarded load from %s found no store (bug)", array)
+		}
+		dOmega := lo.plan.storeValOmega[array]
+		val := lo.l.Value(dv)
+		if !val.IsVariant() || dOmega > 0 {
+			// Stored value is a constant/invariant or itself a carried
+			// read: anchor it with a copy so forwards have a variant.
+			copyOp := machine.FCopy
+			if val.Type == ir.Int || val.Type == ir.Addr {
+				copyOp = machine.Copy
+			}
+			nv := lo.emitUnpred(copyOp, []ir.Operand{{Val: dv, Omega: dOmega}}, "fwd0."+array, ir.RR, val.Type)
+			dv, dOmega = nv, 0
+		}
+		for _, op := range lo.l.Ops {
+			for i := range op.Args {
+				if op.Args[i].Val == ph {
+					op.Args[i].Val = dv
+					op.Args[i].Omega += dOmega
+				}
+			}
+			if op.Pred != nil && op.Pred.Val == ph {
+				op.Pred.Val = dv
+				op.Pred.Omega += dOmega
+			}
+		}
+		// The store's affine offset drives the preheader addresses.
+		var storeC int64
+		found := false
+		for _, a := range lo.emitted {
+			if a.isStore && a.array == array && a.aff.ok && a.aff.hasI {
+				storeC, found = a.aff.c, true
+			}
+		}
+		if !found {
+			return errf(lo.do.Pos(), "store forwarding without affine store (bug)")
+		}
+		lo.cl.Recipes = append(lo.cl.Recipes, Recipe{Val: dv, Kind: RecipeMemLoad, Array: array, C: storeC})
+	}
+	return nil
+}
+
+// memDeps adds memory ordering arcs between the surviving accesses
+// (Section 3.1: exact ω where dependence analysis can prove it,
+// conservative lower bounds elsewhere). Accesses guarded by
+// complementary senses of the same predicate came from the two sides of
+// one IF: dependence analysis ran on the branchy CFG before
+// if-conversion, where no path connects them, so they never conflict
+// within an iteration — and the cross-iteration direction is kept.
+func (lo *lowerer) memDeps() {
+	storeLat := lo.m.Info(machine.Store).Latency
+	complementary := func(x, y *ir.Op) bool {
+		return x.Pred != nil && y.Pred != nil &&
+			x.Pred.Val == y.Pred.Val && x.Pred.Omega == y.Pred.Omega &&
+			x.PredNeg != y.PredNeg
+	}
+	for i, a := range lo.emitted {
+		for j := i + 1; j < len(lo.emitted); j++ {
+			b := lo.emitted[j]
+			if a.array != b.array || (!a.isStore && !b.isStore) {
+				continue
+			}
+			opA, opB := lo.l.Op(a.op), lo.l.Op(b.op)
+			if complementary(opA, opB) {
+				// Exclusive branches: only cross-iteration ordering in
+				// both directions (an iteration may take either side).
+				exact := a.aff.ok && b.aff.ok && a.aff.hasI && b.aff.hasI && lo.stepKnown
+				if exact && (a.aff.c-b.aff.c)%lo.step != 0 {
+					continue
+				}
+				latAB, latBA := 0, 0
+				if a.isStore {
+					latAB = storeLat
+				}
+				if b.isStore {
+					latBA = storeLat
+				}
+				lo.l.AddDep(ir.Dep{From: a.op, To: b.op, Latency: latAB, Omega: 1, Kind: ir.DepMem})
+				lo.l.AddDep(ir.Dep{From: b.op, To: a.op, Latency: latBA, Omega: 1, Kind: ir.DepMem})
+				continue
+			}
+			latAB := 0
+			if a.isStore {
+				latAB = storeLat
+			}
+			latBA := 0
+			if b.isStore {
+				latBA = storeLat
+			}
+			exact := a.aff.ok && b.aff.ok && a.aff.hasI && b.aff.hasI && lo.stepKnown
+			if exact {
+				d := a.aff.c - b.aff.c
+				if d%lo.step != 0 {
+					continue // provably never alias
+				}
+				w := d / lo.step
+				switch {
+				case w > 0:
+					// a@k aliases b@(k+w): a must precede b by w iterations.
+					lo.l.AddDep(ir.Dep{From: a.op, To: b.op, Latency: latAB, Omega: int(w), Kind: ir.DepMem})
+				case w < 0:
+					lo.l.AddDep(ir.Dep{From: b.op, To: a.op, Latency: latBA, Omega: int(-w), Kind: ir.DepMem})
+				default:
+					// Same address every iteration pair (k,k): program
+					// order within the iteration, conflict across
+					// iterations in both directions.
+					lo.l.AddDep(ir.Dep{From: a.op, To: b.op, Latency: latAB, Omega: 0, Kind: ir.DepMem})
+					lo.l.AddDep(ir.Dep{From: b.op, To: a.op, Latency: latBA, Omega: 1, Kind: ir.DepMem})
+				}
+				continue
+			}
+			if a.aff.ok && b.aff.ok && a.aff.hasI == b.aff.hasI && !lo.stepKnown && a.aff.c != b.aff.c {
+				// Same-shape affine subscripts with unknown step never
+				// alias at distance 0, but may at unknown distances:
+				// conservative both ways at ω ≥ 1... and the distance-0
+				// case is excluded, so program order is free. Keep the
+				// conservative arcs anyway: cheap and safe.
+			}
+			// Conservative: textual order now, and the reverse one
+			// iteration later.
+			lo.l.AddDep(ir.Dep{From: a.op, To: b.op, Latency: latAB, Omega: 0, Kind: ir.DepMem})
+			lo.l.AddDep(ir.Dep{From: b.op, To: a.op, Latency: latBA, Omega: 1, Kind: ir.DepMem})
+		}
+	}
+}

@@ -1,0 +1,617 @@
+package frontend
+
+import "strconv"
+
+// Parse parses one subroutine.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) skipNewlines() {
+	for p.cur().Kind == TokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(k TokKind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, "expected %s, found %s", what, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	t := p.cur()
+	if t.Kind != TokKw || t.Text != kw {
+		return errf(t.Line, "expected %q, found %s", kw, t)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) atKw(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKw && t.Text == kw
+}
+
+func (p *parser) endOfStmt() error {
+	t := p.cur()
+	switch t.Kind {
+	case TokNewline:
+		p.pos++
+		return nil
+	case TokEOF:
+		return nil
+	}
+	return errf(t.Line, "unexpected %s at end of statement", t)
+}
+
+func (p *parser) program() (*Program, error) {
+	p.skipNewlines()
+	if err := p.expectKw("subroutine"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "subroutine name")
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name.Text}
+	if p.cur().Kind == TokLParen {
+		p.pos++
+		for p.cur().Kind != TokRParen {
+			id, err := p.expect(TokIdent, "parameter name")
+			if err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, id.Text)
+			if p.cur().Kind == TokComma {
+				p.pos++
+			}
+		}
+		p.pos++
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+
+	// Declarations.
+	for p.atKw("integer") || p.atKw("real") || p.atKw("dimension") {
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+		p.skipNewlines()
+	}
+
+	// Body.
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokEOF {
+			break
+		}
+		if p.atKw("end") {
+			p.pos++
+			break
+		}
+		if p.atKw("return") || p.atKw("continue") {
+			p.pos++
+			if err := p.endOfStmt(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) decl() (*Decl, error) {
+	t := p.next() // integer / real / dimension
+	d := &Decl{Line: t.Line}
+	switch t.Text {
+	case "integer":
+		d.Type = TInteger
+	case "real", "dimension":
+		d.Type = TReal
+	}
+	// Optional *4 / *8 width suffix on real.
+	if p.cur().Kind == TokStar {
+		p.pos++
+		if _, err := p.expect(TokInt, "type width"); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		id, err := p.expect(TokIdent, "declared name")
+		if err != nil {
+			return nil, err
+		}
+		dn := DeclName{Name: id.Text}
+		if p.cur().Kind == TokLParen {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			dn.Dim = e
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+		}
+		d.Names = append(d.Names, dn)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.pos++
+	}
+	return d, p.endOfStmt()
+}
+
+func (p *parser) stmtBlock(terminators ...string) ([]Stmt, string, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokEOF {
+			return nil, "", errf(t.Line, "unexpected end of file inside block")
+		}
+		if t.Kind == TokKw {
+			for _, term := range terminators {
+				if t.Text == term {
+					p.pos++
+					return out, term, nil
+				}
+			}
+			// "end do" / "end if" two-word forms.
+			if t.Text == "end" {
+				nt := p.toks[p.pos+1]
+				if nt.Kind == TokKw && (nt.Text == "do" || nt.Text == "if") {
+					for _, term := range terminators {
+						if term == "end"+nt.Text {
+							p.pos += 2
+							return out, term, nil
+						}
+					}
+				}
+			}
+			if t.Text == "continue" {
+				p.pos++
+				if err := p.endOfStmt(); err != nil {
+					return nil, "", err
+				}
+				continue
+			}
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atKw("do"):
+		return p.doStmt()
+	case p.atKw("if"):
+		return p.ifStmt()
+	case t.Kind == TokIdent:
+		lhs, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *VarRef, *ArrayRef:
+		default:
+			return nil, errf(t.Line, "assignment target must be a variable or array element")
+		}
+		if _, err := p.expect(TokAssign, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Lhs: lhs, Rhs: rhs, Line: t.Line}, p.endOfStmt()
+	case t.Kind == TokKw && (t.Text == "call" || t.Text == "goto"):
+		return nil, errf(t.Line, "%s statements cannot be modulo scheduled (paper, Section 6)", t.Text)
+	}
+	return nil, errf(t.Line, "unexpected %s", t)
+}
+
+func (p *parser) doStmt() (Stmt, error) {
+	t := p.next() // do
+	// Optional label form: "do 10 i = ..." with "10 continue" terminator
+	// is not supported; use end do.
+	if p.cur().Kind == TokInt {
+		return nil, errf(t.Line, "labelled DO loops are not supported; use END DO")
+	}
+	v, err := p.expect(TokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign, "="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma, ","); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var step Expr
+	if p.cur().Kind == TokComma {
+		p.pos++
+		step, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	body, _, err := p.stmtBlock("enddo")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	return &DoStmt{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, Line: t.Line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if !p.atKw("then") {
+		// Single-statement logical IF: if (cond) stmt
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Cond: cond, Then: []Stmt{s}, Line: t.Line}, nil
+	}
+	p.pos++ // then
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	thenBlk, term, err := p.stmtBlock("else", "elseif", "endif")
+	if err != nil {
+		return nil, err
+	}
+	var elseBlk []Stmt
+	switch term {
+	case "else":
+		if p.atKw("if") {
+			// ELSE IF chain: the nested IF is the entire else branch and
+			// consumes the shared END IF.
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &IfStmt{Cond: cond, Then: thenBlk, Else: []Stmt{nested}, Line: t.Line}, nil
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		elseBlk, _, err = p.stmtBlock("endif")
+		if err != nil {
+			return nil, err
+		}
+	case "elseif":
+		nested, err := p.elseifStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Cond: cond, Then: thenBlk, Else: []Stmt{nested}, Line: t.Line}, nil
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	return &IfStmt{Cond: cond, Then: thenBlk, Else: elseBlk, Line: t.Line}, nil
+}
+
+// elseifStmt parses the remainder of an ELSEIF (cond) THEN … chain; the
+// ELSEIF keyword has already been consumed.
+func (p *parser) elseifStmt() (Stmt, error) {
+	t := p.toks[p.pos-1]
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if !p.atKw("then") {
+		return nil, errf(t.Line, "elseif requires THEN")
+	}
+	p.pos++
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	thenBlk, term, err := p.stmtBlock("else", "elseif", "endif")
+	if err != nil {
+		return nil, err
+	}
+	var elseBlk []Stmt
+	switch term {
+	case "else":
+		if p.atKw("if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &IfStmt{Cond: cond, Then: thenBlk, Else: []Stmt{nested}, Line: t.Line}, nil
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		elseBlk, _, err = p.stmtBlock("endif")
+		if err != nil {
+			return nil, err
+		}
+	case "elseif":
+		nested, err := p.elseifStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Cond: cond, Then: thenBlk, Else: []Stmt{nested}, Line: t.Line}, nil
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	return &IfStmt{Cond: cond, Then: thenBlk, Else: elseBlk, Line: t.Line}, nil
+}
+
+// Expression grammar, loosest first:
+//
+//	expr   := orExpr
+//	orExpr := andExpr (".or." andExpr)*
+//	andExpr:= notExpr (".and." notExpr)*
+//	notExpr:= [".not."] relExpr
+//	relExpr:= addExpr [relop addExpr]
+//	addExpr:= mulExpr (("+"|"-") mulExpr)*
+//	mulExpr:= unary (("*"|"/") unary)*
+//	unary  := ["-"] primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOr {
+		t := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "||", L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAnd {
+		t := p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "&&", L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.cur().Kind == TokNot {
+		t := p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "!", X: x, Line: t.Line}, nil
+	}
+	return p.relExpr()
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokRelop {
+		t := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: t.Text, L: l, R: r, Line: t.Line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokPlus || p.cur().Kind == TokMinus {
+		t := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := "+"
+		if t.Kind == TokMinus {
+			op = "-"
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokStar || p.cur().Kind == TokSlash {
+		t := p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		op := "*"
+		if t.Kind == TokSlash {
+			op = "/"
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.cur().Kind == TokMinus {
+		t := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", X: x, Line: t.Line}, nil
+	}
+	if p.cur().Kind == TokPlus {
+		p.pos++
+		return p.unary()
+	}
+	return p.primary()
+}
+
+var intrinsics = map[string]int{
+	"sqrt": 1, "abs": 1, "real": 1, "int": 1, "float": 1,
+	"mod": 2, "max": 2, "min": 2, "amax1": 2, "amin1": 2,
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	// REAL(x) conversion: "real" lexes as a keyword but is an intrinsic
+	// in expression position.
+	if t.Kind == TokKw && t.Text == "real" && p.toks[p.pos+1].Kind == TokLParen {
+		p.pos += 2
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return &CallExpr{Name: "real", Args: []Expr{arg}, Line: t.Line}, nil
+	}
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Line, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Val: v, Line: t.Line}, nil
+	case TokReal:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Line, "bad real literal %q", t.Text)
+		}
+		return &RealLit{Val: v, Line: t.Line}, nil
+	case TokLParen:
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.pos++
+		if p.cur().Kind != TokLParen {
+			return &VarRef{Name: t.Text, Line: t.Line}, nil
+		}
+		p.pos++
+		if arity, ok := intrinsics[t.Text]; ok {
+			var args []Expr
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().Kind != TokComma {
+					break
+				}
+				p.pos++
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			if len(args) != arity {
+				return nil, errf(t.Line, "%s takes %d argument(s), got %d", t.Text, arity, len(args))
+			}
+			return &CallExpr{Name: t.Text, Args: args, Line: t.Line}, nil
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return &ArrayRef{Name: t.Text, Index: idx, Line: t.Line}, nil
+	}
+	return nil, errf(t.Line, "unexpected %s in expression", t)
+}

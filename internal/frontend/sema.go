@@ -1,0 +1,252 @@
+package frontend
+
+import "fmt"
+
+// Symbol is one resolved name.
+type Symbol struct {
+	Name    string
+	Type    BaseType
+	IsArray bool
+	Dim     Expr // declared extent (nil for scalars)
+	IsParam bool
+	// Assigned marks symbols written somewhere in the subroutine.
+	Assigned bool
+}
+
+// Unit is an analyzed subroutine.
+type Unit struct {
+	Prog *Program
+	Syms map[string]*Symbol
+}
+
+// implicitType applies FORTRAN implicit typing: names starting with
+// i..n are integer, everything else real.
+func implicitType(name string) BaseType {
+	if name != "" && name[0] >= 'i' && name[0] <= 'n' {
+		return TInteger
+	}
+	return TReal
+}
+
+// Analyze resolves names, applies implicit typing to undeclared
+// variables, and type-checks every statement.
+func Analyze(prog *Program) (*Unit, error) {
+	u := &Unit{Prog: prog, Syms: map[string]*Symbol{}}
+	for _, p := range prog.Params {
+		u.Syms[p] = &Symbol{Name: p, Type: implicitType(p), IsParam: true}
+	}
+	for _, d := range prog.Decls {
+		for _, dn := range d.Names {
+			sym, ok := u.Syms[dn.Name]
+			if !ok {
+				sym = &Symbol{Name: dn.Name}
+				u.Syms[dn.Name] = sym
+			}
+			sym.Type = d.Type
+			if dn.Dim != nil {
+				sym.IsArray = true
+				sym.Dim = dn.Dim
+			}
+		}
+	}
+	// Walk the body: create implicit symbols, check types, and record
+	// assignments.
+	var walkStmts func(stmts []Stmt) error
+	var walkExpr func(e Expr) (BaseType, error)
+
+	lookup := func(name string, line int) *Symbol {
+		sym, ok := u.Syms[name]
+		if !ok {
+			sym = &Symbol{Name: name, Type: implicitType(name)}
+			u.Syms[name] = sym
+		}
+		_ = line
+		return sym
+	}
+
+	walkExpr = func(e Expr) (BaseType, error) {
+		switch e := e.(type) {
+		case *IntLit:
+			return TInteger, nil
+		case *RealLit:
+			return TReal, nil
+		case *VarRef:
+			sym := lookup(e.Name, e.Pos())
+			if sym.IsArray {
+				return sym.Type, errf(e.Pos(), "array %s used without subscript", e.Name)
+			}
+			return sym.Type, nil
+		case *ArrayRef:
+			sym := lookup(e.Name, e.Pos())
+			if !sym.IsArray {
+				return sym.Type, errf(e.Pos(), "%s is not an array", e.Name)
+			}
+			it, err := walkExpr(e.Index)
+			if err != nil {
+				return sym.Type, err
+			}
+			if it != TInteger {
+				return sym.Type, errf(e.Pos(), "subscript of %s must be integer", e.Name)
+			}
+			return sym.Type, nil
+		case *BinExpr:
+			lt, err := walkExpr(e.L)
+			if err != nil {
+				return lt, err
+			}
+			rt, err := walkExpr(e.R)
+			if err != nil {
+				return rt, err
+			}
+			switch e.Op {
+			case "&&", "||":
+				return TInteger, nil // logical; only valid inside IF conditions
+			case "<", "<=", ">", ">=", "==", "/=":
+				return TInteger, nil
+			}
+			if lt == TReal || rt == TReal {
+				return TReal, nil
+			}
+			return TInteger, nil
+		case *UnExpr:
+			return walkExpr(e.X)
+		case *CallExpr:
+			for _, a := range e.Args {
+				if _, err := walkExpr(a); err != nil {
+					return TReal, err
+				}
+			}
+			switch e.Name {
+			case "sqrt", "real", "float", "amax1", "amin1":
+				return TReal, nil
+			case "int", "mod":
+				return TInteger, nil
+			case "abs", "max", "min":
+				t, _ := walkExpr(e.Args[0])
+				return t, nil
+			}
+			return TReal, fmt.Errorf("line %d: unknown intrinsic %s", e.Pos(), e.Name)
+		}
+		return TReal, fmt.Errorf("unreachable expression kind %T", e)
+	}
+
+	walkStmts = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *AssignStmt:
+				if _, err := walkExpr(s.Rhs); err != nil {
+					return err
+				}
+				switch lhs := s.Lhs.(type) {
+				case *VarRef:
+					lookup(lhs.Name, lhs.Pos()).Assigned = true
+				case *ArrayRef:
+					sym := lookup(lhs.Name, lhs.Pos())
+					if !sym.IsArray {
+						return errf(lhs.Pos(), "%s is not an array", lhs.Name)
+					}
+					sym.Assigned = true
+					if _, err := walkExpr(lhs.Index); err != nil {
+						return err
+					}
+				}
+			case *IfStmt:
+				if _, err := walkExpr(s.Cond); err != nil {
+					return err
+				}
+				if err := walkStmts(s.Then); err != nil {
+					return err
+				}
+				if err := walkStmts(s.Else); err != nil {
+					return err
+				}
+			case *DoStmt:
+				sym := lookup(s.Var, s.Pos())
+				if sym.Type != TInteger {
+					return errf(s.Pos(), "loop variable %s must be integer", s.Var)
+				}
+				sym.Assigned = true
+				for _, b := range []Expr{s.Lo, s.Hi, s.Step} {
+					if b == nil {
+						continue
+					}
+					t, err := walkExpr(b)
+					if err != nil {
+						return err
+					}
+					if t != TInteger {
+						return errf(s.Pos(), "DO bounds must be integer")
+					}
+				}
+				if err := walkStmts(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walkStmts(prog.Body); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// TypeOf computes an expression's type after analysis (no new symbols).
+func (u *Unit) TypeOf(e Expr) BaseType {
+	switch e := e.(type) {
+	case *IntLit:
+		return TInteger
+	case *RealLit:
+		return TReal
+	case *VarRef:
+		return u.Syms[e.Name].Type
+	case *ArrayRef:
+		return u.Syms[e.Name].Type
+	case *BinExpr:
+		switch e.Op {
+		case "&&", "||", "<", "<=", ">", ">=", "==", "/=":
+			return TInteger
+		}
+		if u.TypeOf(e.L) == TReal || u.TypeOf(e.R) == TReal {
+			return TReal
+		}
+		return TInteger
+	case *UnExpr:
+		return u.TypeOf(e.X)
+	case *CallExpr:
+		switch e.Name {
+		case "sqrt", "real", "float", "amax1", "amin1":
+			return TReal
+		case "int", "mod":
+			return TInteger
+		default:
+			return u.TypeOf(e.Args[0])
+		}
+	}
+	return TReal
+}
+
+// InnermostLoops returns every innermost DO loop in the subroutine, in
+// source order — the units the paper's compiler modulo schedules.
+func (u *Unit) InnermostLoops() []*DoStmt {
+	var out []*DoStmt
+	var walk func(stmts []Stmt, enclosing *DoStmt)
+	walk = func(stmts []Stmt, enclosing *DoStmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *DoStmt:
+				before := len(out)
+				walk(s.Body, s)
+				if len(out) == before {
+					// No nested DO: s is innermost.
+					out = append(out, s)
+				}
+			case *IfStmt:
+				walk(s.Then, enclosing)
+				walk(s.Else, enclosing)
+			}
+		}
+	}
+	walk(u.Prog.Body, nil)
+	return out
+}

@@ -1,0 +1,151 @@
+// Package interp executes a loop body sequentially, iteration by
+// iteration, with exact dependence semantics. It is the oracle for
+// differential testing: a modulo schedule, after code generation, must
+// leave memory and live-out values exactly as the interpreter does.
+//
+// Loop-carried reads (omega > 0) see the instance computed that many
+// iterations earlier; instances from before the first iteration come
+// from Env.Init, the loop's preheader state.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/semantics"
+)
+
+// Run executes trips iterations of the loop and returns the outcome.
+func Run(l *ir.Loop, env *rt.Env, trips int) (*rt.Result, error) {
+	if trips < 0 {
+		return nil, fmt.Errorf("interp: negative trip count")
+	}
+	order, err := topoOrder(l)
+	if err != nil {
+		return nil, err
+	}
+	mem := make(ir.Memory, len(env.Mem))
+	copy(mem, env.Mem)
+
+	// Instance store: a sliding window would do, but loops are small and
+	// trip counts modest in tests; keep every instance for simplicity
+	// and strong checking.
+	inst := make(map[rt.InstKey]ir.Scalar, len(l.Values)*(trips+2))
+	for k, v := range env.Init {
+		inst[k] = v
+	}
+	readVal := func(o ir.Operand, iter int) (ir.Scalar, error) {
+		v := l.Value(o.Val)
+		if v.ConstValid {
+			return v.Const, nil
+		}
+		if v.File == ir.GPR {
+			s, ok := env.GPR[o.Val]
+			if !ok {
+				return ir.Scalar{}, fmt.Errorf("interp: no live-in for invariant %s", v.Name)
+			}
+			return s, nil
+		}
+		return inst[rt.InstKey{Val: o.Val, Iter: iter - o.Omega}], nil
+	}
+
+	res := &rt.Result{LiveOut: map[ir.ValueID]ir.Scalar{}}
+	for i := 0; i < trips; i++ {
+		for _, op := range order {
+			if op.Opcode == machine.BrTop {
+				continue // iteration control is the driver's job
+			}
+			if op.Pred != nil {
+				p, err := readVal(*op.Pred, i)
+				if err != nil {
+					return nil, err
+				}
+				if p.B == op.PredNeg {
+					continue
+				}
+			}
+			res.Executed++
+			args := make([]ir.Scalar, len(op.Args))
+			for j, a := range op.Args {
+				s, err := readVal(a, i)
+				if err != nil {
+					return nil, err
+				}
+				args[j] = s
+			}
+			switch op.Opcode {
+			case machine.Load:
+				s, err := mem.Load(args[0].I)
+				if err != nil {
+					return nil, fmt.Errorf("interp: op%d iter %d: %w", op.ID, i, err)
+				}
+				inst[rt.InstKey{Val: op.Result, Iter: i}] = s
+			case machine.Store:
+				if err := mem.Store(args[0].I, args[1]); err != nil {
+					return nil, fmt.Errorf("interp: op%d iter %d: %w", op.ID, i, err)
+				}
+			default:
+				s, err := semantics.Eval(op.Opcode, args)
+				if err != nil {
+					return nil, err
+				}
+				if op.Result != ir.None {
+					inst[rt.InstKey{Val: op.Result, Iter: i}] = s
+				}
+			}
+		}
+	}
+	res.Mem = mem
+	for _, v := range l.Values {
+		if v.LiveOut && v.IsVariant() && trips > 0 {
+			res.LiveOut[v.ID] = inst[rt.InstKey{Val: v.ID, Iter: trips - 1}]
+		}
+	}
+	return res, nil
+}
+
+// topoOrder orders ops so that every same-iteration (ω = 0) dependence
+// goes forward. Cross-iteration arcs impose nothing within an iteration.
+func topoOrder(l *ir.Loop) ([]*ir.Op, error) {
+	n := len(l.Ops)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, d := range l.Deps {
+		if d.Omega != 0 || d.From == d.To {
+			continue
+		}
+		adj[d.From] = append(adj[d.From], int(d.To))
+		indeg[d.To]++
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var out []*ir.Op
+	for len(queue) > 0 {
+		// Pop the smallest id for determinism.
+		min := 0
+		for i := range queue {
+			if queue[i] < queue[min] {
+				min = i
+			}
+		}
+		x := queue[min]
+		queue = append(queue[:min], queue[min+1:]...)
+		out = append(out, l.Ops[x])
+		for _, y := range adj[x] {
+			indeg[y]--
+			if indeg[y] == 0 {
+				queue = append(queue, y)
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("interp: loop %s has a zero-omega dependence cycle", l.Name)
+	}
+	return out, nil
+}

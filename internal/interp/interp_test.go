@@ -1,0 +1,142 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rt"
+)
+
+// The Figure 1 recurrence has a closed form we can check by hand for the
+// first few iterations: x_i = x_{i-1} + y_{i-2}, y_i = y_{i-1} + x_{i-2}.
+func TestSampleRecurrenceByHand(t *testing.T) {
+	r := fixture.RunnableSample(machine.Cydra())
+	res, err := Run(r.Loop, r.Env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x_{-2}=0.25 x_{-1}=0.5 y_{-2}=1.5 y_{-1}=2.25
+	// i=0: x0 = 0.5+1.5 = 2.0    y0 = 2.25+0.25 = 2.5
+	// i=1: x1 = 2.0+2.25 = 4.25  y1 = 2.5+0.5 = 3.0
+	// i=2: x2 = 4.25+2.5 = 6.75  y2 = 3.0+2.0 = 5.0
+	x := res.LiveOut[0] // value x has id 0 in the fixture
+	y := res.LiveOut[1]
+	if x.F != 6.75 || y.F != 5.0 {
+		t.Errorf("after 3 iterations: x=%v y=%v, want 6.75, 5.0", x.F, y.F)
+	}
+	// Stores: mem[2]=x0, mem[3]=x1, mem[4]=x2; mem[66..68] = y0..y2.
+	for i, want := range []float64{2.0, 4.25, 6.75} {
+		if got := res.Mem[2+i].F; got != want {
+			t.Errorf("mem[%d] = %v, want %v", 2+i, got, want)
+		}
+	}
+	for i, want := range []float64{2.5, 3.0, 5.0} {
+		if got := res.Mem[66+i].F; got != want {
+			t.Errorf("mem[%d] = %v, want %v", 66+i, got, want)
+		}
+	}
+}
+
+func TestDaxpySemantics(t *testing.T) {
+	r := fixture.RunnableDaxpy(machine.Cydra())
+	res, err := Run(r.Loop, r.Env, r.Trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Trips; i++ {
+		x := float64(i) * 0.5
+		y := 10 + float64(i)*0.25
+		want := y + 3.0*x
+		if got := res.Mem[64+i].F; got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestReductionSemantics(t *testing.T) {
+	r := fixture.RunnableReduction(machine.Cydra())
+	res, err := Run(r.Loop, r.Env, r.Trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < r.Trips; i++ {
+		want += (1 + float64(i%7)) * (2 - float64(i%5)*0.5)
+	}
+	s := res.LiveOut[value(t, r.Loop, "s")]
+	if math.Abs(s.F-want) > 1e-12 {
+		t.Errorf("dot = %v, want %v", s.F, want)
+	}
+}
+
+func TestConditionalPredication(t *testing.T) {
+	r := fixture.RunnableConditional(machine.Cydra())
+	res, err := Run(r.Loop, r.Env, r.Trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Trips; i++ {
+		x := r.Env.Mem[i].F
+		want := x * 2.0
+		if !(x > 0) {
+			want = x * -0.5
+		}
+		if got := res.Mem[64+i].F; got != want {
+			t.Fatalf("out[%d] = %v, want %v (x=%v)", i, got, want, x)
+		}
+	}
+	// Exactly one of the two predicated multiplies runs per iteration.
+	// Ops: load, cmp, 2 muls (one squashed), store, 2 aadds = 6 per iter.
+	if res.Executed != int64(6*r.Trips) {
+		t.Errorf("executed %d ops, want %d", res.Executed, 6*r.Trips)
+	}
+}
+
+func TestMissingInvariantIsError(t *testing.T) {
+	r := fixture.RunnableDaxpy(machine.Cydra())
+	env := *r.Env
+	env.GPR = nil
+	if _, err := Run(r.Loop, &env, 1); err == nil {
+		t.Error("missing GPR live-in must error")
+	}
+}
+
+func TestOutOfBoundsIsError(t *testing.T) {
+	r := fixture.RunnableDaxpy(machine.Cydra())
+	env := *r.Env
+	env.Init = map[rt.InstKey]ir.Scalar{}
+	for k, v := range r.Env.Init {
+		env.Init[k] = v
+	}
+	env.Init[rt.InstKey{Val: value(t, r.Loop, "px"), Iter: -1}] = ir.IntS(1 << 30)
+	if _, err := Run(r.Loop, &env, 1); err == nil {
+		t.Error("wild load must error, not wrap")
+	}
+}
+
+func TestZeroOmegaCycleRejected(t *testing.T) {
+	m := machine.Cydra()
+	l := ir.NewLoop("cyc0", m)
+	a := l.NewValue("a", ir.RR, ir.Float)
+	b := l.NewValue("b", ir.RR, ir.Float)
+	l.NewOp(machine.FAdd, []ir.Operand{{Val: b.ID}, {Val: b.ID}}, a.ID)
+	l.NewOp(machine.FSub, []ir.Operand{{Val: a.ID}, {Val: a.ID}}, b.ID)
+	l.MustFinalize()
+	if _, err := Run(l, &rt.Env{}, 1); err == nil {
+		t.Error("zero-omega dependence cycle must be rejected")
+	}
+}
+
+func value(t *testing.T, l *ir.Loop, name string) ir.ValueID {
+	t.Helper()
+	for _, v := range l.Values {
+		if v.Name == name {
+			return v.ID
+		}
+	}
+	t.Fatalf("no value %q", name)
+	return ir.None
+}

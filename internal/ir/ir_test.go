@@ -1,0 +1,179 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func twoAddLoop(t *testing.T) *Loop {
+	t.Helper()
+	l := NewLoop("two", machine.Cydra())
+	a := l.NewValue("a", RR, Float)
+	b := l.NewValue("b", RR, Float)
+	l.NewOp(machine.FAdd, []Operand{{Val: a.ID, Omega: 1}, {Val: a.ID, Omega: 1}}, a.ID)
+	l.NewOp(machine.FMul, []Operand{{Val: a.ID}, {Val: a.ID}}, b.ID)
+	if err := l.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFlowDepsDerived(t *testing.T) {
+	l := twoAddLoop(t)
+	// a's def feeds itself (ω=1, twice) and the multiply (ω=0, twice).
+	var selfArcs, fwdArcs int
+	for _, d := range l.Deps {
+		if d.Kind != DepFlow {
+			continue
+		}
+		switch {
+		case d.From == 0 && d.To == 0:
+			selfArcs++
+			if d.Omega != 1 || d.Latency != 1 {
+				t.Errorf("self arc: %+v", d)
+			}
+		case d.From == 0 && d.To == 1:
+			fwdArcs++
+			if d.Omega != 0 {
+				t.Errorf("forward arc: %+v", d)
+			}
+		}
+	}
+	if selfArcs != 2 || fwdArcs != 2 {
+		t.Errorf("got %d self + %d forward flow arcs, want 2 + 2", selfArcs, fwdArcs)
+	}
+}
+
+func TestRecurrenceMarking(t *testing.T) {
+	l := twoAddLoop(t)
+	// The ω=1 self arc is a trivial recurrence: no op should be marked.
+	if l.Ops[0].OnRecurrence || l.Ops[1].OnRecurrence {
+		t.Error("self arcs alone must not mark ops as on-recurrence")
+	}
+	if l.HasRecurrence() {
+		t.Error("HasRecurrence should be false for self arcs only")
+	}
+
+	// Cross-coupled ops form a real circuit.
+	l2 := NewLoop("cross", machine.Cydra())
+	x := l2.NewValue("x", RR, Float)
+	y := l2.NewValue("y", RR, Float)
+	l2.NewOp(machine.FAdd, []Operand{{Val: y.ID, Omega: 1}, {Val: y.ID, Omega: 1}}, x.ID)
+	l2.NewOp(machine.FAdd, []Operand{{Val: x.ID}, {Val: x.ID}}, y.ID)
+	l2.MustFinalize()
+	if !l2.Ops[0].OnRecurrence || !l2.Ops[1].OnRecurrence {
+		t.Error("cross-coupled ops must be marked on-recurrence")
+	}
+}
+
+func TestFUAssignmentRoundRobin(t *testing.T) {
+	l := NewLoop("mem", machine.Cydra())
+	p := l.NewValue("p", RR, Addr)
+	v1 := l.NewValue("v1", RR, Float)
+	v2 := l.NewValue("v2", RR, Float)
+	v3 := l.NewValue("v3", RR, Float)
+	l.NewOp(machine.Load, []Operand{{Val: p.ID, Omega: 1}}, v1.ID)
+	l.NewOp(machine.Load, []Operand{{Val: p.ID, Omega: 1}}, v2.ID)
+	l.NewOp(machine.Load, []Operand{{Val: p.ID, Omega: 1}}, v3.ID)
+	one := l.Const("one", Addr, IntS(1))
+	l.NewOp(machine.AAdd, []Operand{{Val: p.ID, Omega: 1}, {Val: one.ID}}, p.ID)
+	l.MustFinalize()
+	if l.Ops[0].FU != 0 || l.Ops[1].FU != 1 || l.Ops[2].FU != 0 {
+		t.Errorf("loads should round-robin over 2 ports: got %d %d %d",
+			l.Ops[0].FU, l.Ops[1].FU, l.Ops[2].FU)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := machine.Cydra()
+
+	// Reading an invariant with ω > 0.
+	l := NewLoop("bad1", m)
+	g := l.NewValue("g", GPR, Float)
+	s := l.NewValue("s", RR, Float)
+	l.NewOp(machine.FAdd, []Operand{{Val: g.ID, Omega: 1}, {Val: g.ID}}, s.ID)
+	if err := l.Finalize(); err == nil {
+		t.Error("invariant read with omega > 0 must be rejected")
+	}
+
+	// Multi-def without predication.
+	l2 := NewLoop("bad2", m)
+	v := l2.NewValue("v", RR, Float)
+	w := l2.NewValue("w", RR, Float)
+	l2.NewOp(machine.FAdd, []Operand{{Val: w.ID, Omega: 1}, {Val: w.ID, Omega: 1}}, v.ID)
+	l2.NewOp(machine.FSub, []Operand{{Val: w.ID, Omega: 1}, {Val: w.ID, Omega: 1}}, v.ID)
+	l2.NewOp(machine.FCopy, []Operand{{Val: v.ID}}, w.ID)
+	if err := l2.Finalize(); err == nil {
+		t.Error("unpredicated multi-def must be rejected")
+	}
+
+	// Two brtops.
+	l3 := NewLoop("bad3", m)
+	u := l3.NewValue("u", RR, Float)
+	l3.NewOp(machine.FAdd, []Operand{{Val: u.ID, Omega: 1}, {Val: u.ID, Omega: 1}}, u.ID)
+	l3.NewOp(machine.BrTop, nil, None)
+	l3.NewOp(machine.BrTop, nil, None)
+	if err := l3.Finalize(); err == nil {
+		t.Error("two brtops must be rejected")
+	}
+
+	// Empty loop.
+	if err := NewLoop("bad4", m).Finalize(); err == nil {
+		t.Error("empty body must be rejected")
+	}
+}
+
+func TestAddDepRejectsFlow(t *testing.T) {
+	l := twoAddLoop(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddDep(DepFlow) must panic")
+		}
+	}()
+	l.AddDep(Dep{From: 0, To: 1, Kind: DepFlow})
+}
+
+func TestGPRCount(t *testing.T) {
+	l := NewLoop("gpr", machine.Cydra())
+	a := l.NewValue("a", GPR, Float)
+	unused := l.NewValue("unused", GPR, Float)
+	_ = unused
+	s := l.NewValue("s", RR, Float)
+	l.NewOp(machine.FMul, []Operand{{Val: s.ID, Omega: 1}, {Val: a.ID}}, s.ID)
+	l.MustFinalize()
+	if got := l.GPRCount(); got != 1 {
+		t.Errorf("GPRCount = %d, want 1 (unused invariants don't count)", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := twoAddLoop(t)
+	out := l.String()
+	for _, want := range []string{"loop two", "fadd", "fmul", "a[-1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	s := NewSchedule(3, 4)
+	if s.Complete() {
+		t.Error("fresh schedule is not complete")
+	}
+	s.Time = []int{0, 2, 5, 7}
+	if !s.Complete() {
+		t.Error("all placed: complete")
+	}
+	if s.Length() != 8 {
+		t.Errorf("Length = %d, want 8", s.Length())
+	}
+	if s.Stages() != 3 {
+		t.Errorf("Stages = %d, want ⌈8/3⌉ = 3", s.Stages())
+	}
+	if s.Stage(2) != 1 || s.Offset(2) != 2 {
+		t.Errorf("op2: stage %d offset %d, want 1,2", s.Stage(2), s.Offset(2))
+	}
+}

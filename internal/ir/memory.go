@@ -1,0 +1,26 @@
+package ir
+
+import "fmt"
+
+// Memory is the flat data memory shared by the reference interpreter and
+// the VLIW simulator: one Scalar per element, addressed by index. Array
+// variables are laid out back to back by the test drivers and the
+// frontend's runtime layout.
+type Memory []Scalar
+
+// Load returns the scalar at addr.
+func (m Memory) Load(addr int64) (Scalar, error) {
+	if addr < 0 || addr >= int64(len(m)) {
+		return Scalar{}, fmt.Errorf("memory: load out of bounds: %d (size %d)", addr, len(m))
+	}
+	return m[addr], nil
+}
+
+// Store writes the scalar at addr.
+func (m Memory) Store(addr int64, s Scalar) error {
+	if addr < 0 || addr >= int64(len(m)) {
+		return fmt.Errorf("memory: store out of bounds: %d (size %d)", addr, len(m))
+	}
+	m[addr] = s
+	return nil
+}

@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Unplaced marks an op without an issue cycle in a Schedule.
+const Unplaced = -1
+
+// Schedule is the result of modulo scheduling a loop: an initiation
+// interval and an issue cycle for every operation. Cycle t of op x means
+// iteration i of the loop issues x at absolute time t + i·II.
+type Schedule struct {
+	II   int
+	Time []int // indexed by OpID; Unplaced if the op was not scheduled
+}
+
+// NewSchedule returns an empty schedule for n ops at the given II.
+func NewSchedule(ii, n int) *Schedule {
+	s := &Schedule{II: ii, Time: make([]int, n)}
+	for i := range s.Time {
+		s.Time[i] = Unplaced
+	}
+	return s
+}
+
+// Complete reports whether every op has been placed.
+func (s *Schedule) Complete() bool {
+	for _, t := range s.Time {
+		if t == Unplaced {
+			return false
+		}
+	}
+	return true
+}
+
+// Length returns the schedule length: one past the latest issue cycle.
+// (The paper's Estart(Stop) additionally counts trailing latency; use
+// Makespan for that.)
+func (s *Schedule) Length() int {
+	max := 0
+	for _, t := range s.Time {
+		if t != Unplaced && t+1 > max {
+			max = t + 1
+		}
+	}
+	return max
+}
+
+// Makespan returns the number of cycles one iteration needs from the
+// first issue to the last result: max over ops of time + latency.
+func (s *Schedule) Makespan(l *Loop) int {
+	max := 0
+	for id, t := range s.Time {
+		if t == Unplaced {
+			continue
+		}
+		end := t + l.Mach.Latency(l.Ops[id].Opcode)
+		if end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// Stages returns the number of kernel stages: ⌈Length/II⌉, at least 1.
+func (s *Schedule) Stages() int {
+	n := (s.Length() + s.II - 1) / s.II
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stage returns which stage an op issues in.
+func (s *Schedule) Stage(id OpID) int { return s.Time[id] / s.II }
+
+// Offset returns the op's issue cycle within the kernel (time mod II).
+func (s *Schedule) Offset(id OpID) int { return s.Time[id] % s.II }
+
+// String renders the schedule ordered by issue cycle.
+func (s *Schedule) String() string {
+	type row struct {
+		t  int
+		id OpID
+	}
+	var rows []row
+	for id, t := range s.Time {
+		rows = append(rows, row{t, OpID(id)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].t != rows[j].t {
+			return rows[i].t < rows[j].t
+		}
+		return rows[i].id < rows[j].id
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "II=%d len=%d stages=%d\n", s.II, s.Length(), s.Stages())
+	for _, r := range rows {
+		if r.t == Unplaced {
+			fmt.Fprintf(&b, "  ----: op%d (unplaced)\n", int(r.id))
+		} else {
+			fmt.Fprintf(&b, "  %4d: op%d\n", r.t, int(r.id))
+		}
+	}
+	return b.String()
+}

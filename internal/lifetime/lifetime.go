@@ -1,0 +1,142 @@
+// Package lifetime measures the register pressure of a modulo schedule
+// (Section 3.2 of the paper).
+//
+// A value defined at cycle t_d and last read at cycle t_u by an operation
+// ω iterations later is live over [t_d, t_u + ω·II): the register is
+// reserved when the defining operation issues and may not be overwritten
+// until the last use issues (Figure 3). Because the schedule repeats
+// every II cycles, lifetimes from adjacent iterations overlap; wrapping
+// the first iteration's lifetimes around a vector of II columns gives the
+// LiveVector (Figure 4), whose maximum entry, MaxLive, bounds the
+// schedule's register pressure from below — and, per Rau et al. (PLDI
+// 1992), rotating-register allocation almost always achieves it, so this
+// repository (like the paper) uses MaxLive as the schedule's pressure.
+package lifetime
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Range is the live interval of one value in one iteration, in absolute
+// cycles of that iteration's schedule: [Start, End).
+type Range struct {
+	Val   ir.ValueID
+	Start int
+	End   int
+}
+
+// Len returns the lifetime length in cycles.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Ranges computes the live interval of every loop-variant value in the
+// given register file under the schedule. A value's interval starts at
+// its (earliest) def's issue cycle and ends at the latest use, counting a
+// use ω iterations later at its issue cycle plus ω·II; a value with no
+// in-loop reader is live for its defining latency (it still occupies a
+// register until written back).
+func Ranges(l *ir.Loop, s *ir.Schedule, file ir.RegFile) []Range {
+	var out []Range
+	for _, v := range l.Values {
+		if v.File != file || !v.IsVariant() {
+			continue
+		}
+		r, ok := rangeOf(l, s, v)
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rangeOf(l *ir.Loop, s *ir.Schedule, v *ir.Value) (Range, bool) {
+	start := -1
+	lat := 0
+	for _, d := range v.Defs {
+		t := s.Time[d]
+		if t == ir.Unplaced {
+			return Range{}, false
+		}
+		if start == -1 || t < start {
+			start = t
+		}
+		if dl := l.Mach.Latency(l.Op(d).Opcode); dl > lat {
+			lat = dl
+		}
+	}
+	end := start + lat
+	for _, op := range l.Ops {
+		t := s.Time[op.ID]
+		if t == ir.Unplaced {
+			continue
+		}
+		for _, rd := range op.Reads() {
+			if rd.Val != v.ID {
+				continue
+			}
+			if u := t + rd.Omega*s.II; u > end {
+				end = u
+			}
+		}
+	}
+	return Range{Val: v.ID, Start: start, End: end}, true
+}
+
+// LiveVector wraps the lifetimes around a vector of II columns: entry c
+// counts the values live at cycles congruent to c modulo II (Figure 4).
+func LiveVector(ranges []Range, ii int) []int {
+	vec := make([]int, ii)
+	for _, r := range ranges {
+		n := r.Len()
+		if n <= 0 {
+			continue
+		}
+		full := n / ii
+		for c := range vec {
+			vec[c] += full
+		}
+		for i := 0; i < n%ii; i++ {
+			vec[(r.Start+full*ii+i)%ii]++
+		}
+	}
+	return vec
+}
+
+// Pressure summarizes a schedule's register pressure for one file.
+type Pressure struct {
+	MaxLive int     // max entry of the LiveVector: the paper's pressure measure
+	AvgLive float64 // total lifetime length / II
+}
+
+// Measure computes MaxLive and AvgLive for the given file.
+func Measure(l *ir.Loop, s *ir.Schedule, file ir.RegFile) Pressure {
+	ranges := Ranges(l, s, file)
+	vec := LiveVector(ranges, s.II)
+	max, sum := 0, 0
+	for _, c := range vec {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	return Pressure{MaxLive: max, AvgLive: float64(sum) / float64(s.II)}
+}
+
+// MaxLive is shorthand for Measure(...).MaxLive on the RR file, the
+// paper's headline pressure number.
+func MaxLive(l *ir.Loop, s *ir.Schedule) int {
+	return Measure(l, s, ir.RR).MaxLive
+}
+
+// ICRUsage returns the ICR predicate pressure of a schedule (Figure 8):
+// the peak number of live predicate values plus one iteration-control
+// (stage) predicate per kernel stage, since the kernel-only code schema
+// guards each stage's operations with a rotating stage predicate.
+func ICRUsage(l *ir.Loop, s *ir.Schedule) int {
+	return Measure(l, s, ir.ICR).MaxLive + s.Stages()
+}
+
+func (p Pressure) String() string {
+	return fmt.Sprintf("MaxLive=%d AvgLive=%.2f", p.MaxLive, p.AvgLive)
+}

@@ -1,0 +1,126 @@
+package lifetime
+
+import "repro/internal/ir"
+
+// Predicate-aware pressure. Section 3.2 of the paper: "Operations that
+// execute under mutually exclusive predicates may use the same
+// destination register without interfering with each other.
+// Unfortunately, the compiler does not perform the requisite analysis.
+// Therefore the compiler allocates registers, and computes lower bounds,
+// as if all predicates may be true." This file implements that missing
+// analysis — to quantify what it would have saved, not to change the
+// paper-faithful MaxLive metric.
+//
+// Two values may share a register when every def of one executes under
+// the complementary sense of the same guard as every def of the other:
+// at runtime at most one of them materializes per iteration. The
+// predicate-aware MaxLive counts, per LiveVector column, live values
+// minus a maximum matching of complementary live pairs (greedy; the
+// conflict structure is bipartite per guard, so greedy is exact per
+// predicate).
+
+// guardOf returns the (predicate value, sense) a value's defs all share,
+// or ok=false when the value has an unguarded def or mixed guards.
+func guardOf(l *ir.Loop, v *ir.Value) (ir.ValueID, bool, bool) {
+	var pv ir.ValueID = ir.None
+	neg := false
+	for i, d := range v.Defs {
+		op := l.Op(d)
+		if op.Pred == nil {
+			return ir.None, false, false
+		}
+		if i == 0 {
+			pv, neg = op.Pred.Val, op.PredNeg
+		} else if op.Pred.Val != pv || op.PredNeg != neg {
+			return ir.None, false, false
+		}
+	}
+	if pv == ir.None {
+		return ir.None, false, false
+	}
+	return pv, neg, true
+}
+
+// MeasurePredAware computes MaxLive with complementary-predicate
+// sharing: per column, each (guard, sense) pair contributes
+// max(#true-side, #false-side) instead of their sum.
+func MeasurePredAware(l *ir.Loop, s *ir.Schedule, file ir.RegFile) Pressure {
+	ranges := Ranges(l, s, file)
+
+	type guard struct {
+		p   ir.ValueID
+		neg bool
+	}
+	guards := map[ir.ValueID]guard{}
+	guarded := map[ir.ValueID]bool{}
+	for _, r := range ranges {
+		v := l.Value(r.Val)
+		if p, neg, ok := guardOf(l, v); ok {
+			guards[r.Val] = guard{p, neg}
+			guarded[r.Val] = true
+		}
+	}
+
+	// Per column: sum each value's wrap-around multiplicity (exactly the
+	// LiveVector contributions); for guarded values, bucket by
+	// (predicate, sense) and credit back min(true, false) per predicate.
+	cols := make([]int, s.II)
+	type bucket struct{ pos, negN int }
+	for c := range cols {
+		perPred := map[ir.ValueID]*bucket{}
+		count := 0
+		for _, r := range ranges {
+			k := columnContrib(r, c, s.II)
+			if k == 0 {
+				continue
+			}
+			count += k
+			if g, ok := guards[r.Val]; ok {
+				b := perPred[g.p]
+				if b == nil {
+					b = &bucket{}
+					perPred[g.p] = b
+				}
+				if g.neg {
+					b.negN += k
+				} else {
+					b.pos += k
+				}
+			}
+		}
+		saved := 0
+		for _, b := range perPred {
+			if b.pos < b.negN {
+				saved += b.pos
+			} else {
+				saved += b.negN
+			}
+		}
+		cols[c] = count - saved
+	}
+	max, sum := 0, 0
+	for _, c := range cols {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	return Pressure{MaxLive: max, AvgLive: float64(sum) / float64(s.II)}
+}
+
+// columnContrib returns how many instances of the range are live at
+// cycles ≡ c (mod ii) — the range's LiveVector contribution.
+func columnContrib(r Range, c, ii int) int {
+	n := r.Len()
+	if n <= 0 {
+		return 0
+	}
+	k := n / ii
+	for j := 0; j < n%ii; j++ {
+		if (r.Start+k*ii+j)%ii == c {
+			k++
+			break
+		}
+	}
+	return k
+}

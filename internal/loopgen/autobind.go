@@ -1,0 +1,74 @@
+package loopgen
+
+import (
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+// AutoBinding builds a deterministic runtime binding for any workload
+// loop: every invariant scalar, carried-scalar initial value, and array
+// element gets a value derived from its name, so end-to-end differential
+// tests can execute arbitrary generated loops without hand-written
+// environments. Integer scalars (DO bounds like n or lw) get a modest
+// trip-friendly value; reals get nonzero values bounded away from zero
+// so divides stay finite.
+func AutoBinding(cl *frontend.CompiledLoop) frontend.Binding {
+	b := frontend.Binding{
+		Ints:  map[string]int64{},
+		Reals: map[string]float64{},
+		Fill: func(array string, idx int) ir.Scalar {
+			h := hash(array)
+			v := 0.5 + float64((idx*7+int(h%13))%19)*0.25
+			if (idx+int(h))%5 == 0 {
+				v = -v
+			}
+			return ir.FloatS(v)
+		},
+	}
+	bindScalar := func(name string, typ frontend.BaseType) {
+		if typ == frontend.TInteger {
+			if _, ok := b.Ints[name]; !ok {
+				b.Ints[name] = 40 + int64(hash(name)%20)
+			}
+		} else {
+			if _, ok := b.Reals[name]; !ok {
+				b.Reals[name] = 0.75 + float64(hash(name)%8)*0.3
+			}
+		}
+	}
+	for name := range cl.Scalars {
+		bindScalar(name, cl.Unit.Syms[name].Type)
+	}
+	for _, r := range cl.Recipes {
+		if r.Kind == frontend.RecipeScalar {
+			bindScalar(r.Scalar, cl.Unit.Syms[r.Scalar].Type)
+		}
+	}
+	// DO bounds may reference scalars the loop body never reads.
+	for _, e := range []frontend.Expr{cl.Do.Lo, cl.Do.Hi, cl.Do.Step} {
+		bindBoundVars(cl, e, &b)
+	}
+	return b
+}
+
+func bindBoundVars(cl *frontend.CompiledLoop, e frontend.Expr, b *frontend.Binding) {
+	switch e := e.(type) {
+	case *frontend.VarRef:
+		if _, ok := b.Ints[e.Name]; !ok {
+			b.Ints[e.Name] = 40 + int64(hash(e.Name)%20)
+		}
+	case *frontend.BinExpr:
+		bindBoundVars(cl, e.L, b)
+		bindBoundVars(cl, e.R, b)
+	case *frontend.UnExpr:
+		bindBoundVars(cl, e.X, b)
+	}
+}
+
+func hash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}

@@ -1,0 +1,12 @@
+c Chebyshev-style three-term recurrence stored per step.
+      subroutine cheby(n, t2, s0, s1, w)
+      real w(1024), t2, s0, s1
+      integer n, i
+      real snew
+      do i = 1, n
+        snew = t2*s1 - s0
+        s0 = s1
+        s1 = snew
+        w(i) = snew
+      end do
+      end

@@ -1,0 +1,12 @@
+c Saturating clip with a two-sided conditional.
+      subroutine clipcond(n, top, bot, x, y)
+      real x(1001), y(1001), top, bot
+      integer n, i
+      do i = 1, n
+        if (x(i) .gt. top) then
+          y(i) = top
+        else
+          y(i) = amax1(x(i), bot)
+        end if
+      end do
+      end

@@ -1,0 +1,8 @@
+c 4-tap FIR filter: load-load forwarding across three taps.
+      subroutine fir4(n, c0, c1, c2, c3, x, y)
+      real x(1004), y(1001), c0, c1, c2, c3
+      integer n, i
+      do i = 1, n
+        y(i) = c0*x(i) + c1*x(i+1) + c2*x(i+2) + c3*x(i+3)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Horner evaluation as a scalar multiply-add recurrence.
+      subroutine horner(n, t, s, c)
+      real c(1001), t, s
+      integer n, i
+      do i = 1, n
+        s = s*t + c(i)
+      end do
+      end

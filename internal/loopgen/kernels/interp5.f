@@ -1,0 +1,9 @@
+c Five-point interpolation: wide fan-in, memory-port bound.
+      subroutine interp5(n, w0, w1, w2, w3, w4, x, y)
+      real x(1005), y(1001)
+      real w0, w1, w2, w3, w4
+      integer n, i
+      do i = 1, n
+        y(i) = w0*x(i) + w1*x(i+1) + w2*x(i+2) + w3*x(i+3) + w4*x(i+4)
+      end do
+      end

@@ -1,0 +1,9 @@
+c Livermore kernel 1: hydrodynamics fragment.
+      subroutine lll01(n, q, r, t, x, y, z)
+      real x(1001), y(1001), z(1012)
+      real q, r, t
+      integer n, k
+      do k = 1, n
+        x(k) = q + y(k)*(r*z(k+10) + t*z(k+11))
+      end do
+      end

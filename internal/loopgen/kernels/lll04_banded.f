@@ -1,0 +1,8 @@
+c Livermore kernel 4: banded linear equations (innermost, stride 5).
+      subroutine lll04(lw, xsum, x, y)
+      real x(1001), y(1001), xsum
+      integer lw, j
+      do j = 7, lw, 5
+        xsum = xsum + x(j)*y(j-6)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Livermore kernel 5: tri-diagonal elimination, below diagonal.
+      subroutine lll05(n, x, y, z)
+      real x(1001), y(1001), z(1001)
+      integer n, i
+      do i = 2, n
+        x(i) = z(i)*(y(i) - x(i-1))
+      end do
+      end

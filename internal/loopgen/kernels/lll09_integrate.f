@@ -1,0 +1,16 @@
+c Livermore kernel 9: integrate predictors (px(13,i) flattened to
+c separate predictor arrays).
+      subroutine lll09(n, dm22, dm23, dm24, dm25, dm26, dm27, dm28, &
+                       c0, px1, px2, px3, px5, px6, px7, px8, &
+                       px9, px10, px11, px12, px13)
+      real px1(1001), px2(1001), px3(1001), px5(1001), px6(1001)
+      real px7(1001), px8(1001), px9(1001), px10(1001), px11(1001)
+      real px12(1001), px13(1001)
+      real dm22, dm23, dm24, dm25, dm26, dm27, dm28, c0
+      integer n, i
+      do i = 1, n
+        px1(i) = dm28*px13(i) + dm27*px12(i) + dm26*px11(i) + &
+                 dm25*px10(i) + dm24*px9(i) + dm23*px8(i) + &
+                 dm22*px7(i) + c0*(px5(i) + px6(i)) + px3(i)
+      end do
+      end

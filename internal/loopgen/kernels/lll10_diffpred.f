@@ -1,0 +1,18 @@
+c Livermore kernel 10 (flattened): difference predictors over split
+c predictor arrays.
+      subroutine lll10(n, cx, px1, px2, px3, px4, px5)
+      real cx(1024), px1(1024), px2(1024), px3(1024)
+      real px4(1024), px5(1024)
+      integer n, i
+      real ar, br, cr
+      do i = 1, n
+        ar = cx(i)
+        br = ar - px1(i)
+        px1(i) = ar
+        cr = br - px2(i)
+        px2(i) = br
+        px3(i) = cr - px3(i)
+        px4(i) = px3(i) + px4(i)
+        px5(i) = px4(i) - px5(i)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Livermore kernel 11: first sum (prefix sum recurrence).
+      subroutine lll11(n, x, y)
+      real x(1001), y(1001)
+      integer n, k
+      do k = 2, n
+        x(k) = x(k-1) + y(k)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Livermore kernel 12: first difference.
+      subroutine lll12(n, x, y)
+      real x(1001), y(1002)
+      integer n, k
+      do k = 1, n
+        x(k) = y(k+1) - y(k)
+      end do
+      end

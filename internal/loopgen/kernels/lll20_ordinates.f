@@ -1,0 +1,19 @@
+c Livermore kernel 20: discrete ordinates transport (divide in a
+c recurrence).
+      subroutine lll20(n, s, t, u, v, w, x, y, z, g, xx)
+      real u(1001), v(1001), w(1001), x(1001), y(1001), z(1001)
+      real g(1001), xx(1002), s, t
+      integer n, k
+      real di, dn
+      do k = 1, n
+        di = y(k) - g(k)/(xx(k) + w(k))
+        dn = 0.2
+        if (di .gt. 0.01) then
+          dn = z(k)/di
+          dn = amin1(dn, 0.2)
+          dn = amax1(dn, s)
+        end if
+        x(k) = ((w(k) + v(k)*dn)*xx(k) + u(k))/(v(k) + t*dn)
+        xx(k+1) = (x(k) - xx(k))*dn + xx(k)
+      end do
+      end

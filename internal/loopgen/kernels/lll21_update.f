@@ -1,0 +1,9 @@
+c Livermore kernel 21 (inner fragment): matrix product inner update,
+c expressed along one row.
+      subroutine lll21(n, scale, px, vy)
+      real px(1024), vy(1024), scale
+      integer n, k
+      do k = 1, n
+        px(k) = px(k) + scale*vy(k)
+      end do
+      end

@@ -1,0 +1,12 @@
+c Livermore kernel 24: location of first minimum (conditional scalar
+c recurrence; the branchy original is if-converted).
+      subroutine lll24(n, m, xm, x)
+      real x(1001), xm
+      integer n, k, m
+      do k = 2, n
+        if (x(k) .lt. xm) then
+          m = k
+          xm = x(k)
+        end if
+      end do
+      end

@@ -1,0 +1,12 @@
+c Red-black-free 1-D relaxation sweep with conditional damping.
+      subroutine relax(n, omega, thresh, u, f)
+      real u(1026), f(1026), omega, thresh
+      integer n, i
+      real r0
+      do i = 2, n
+        r0 = f(i) - 2.0*u(i) + u(i-1) + u(i+1)
+        if (abs(r0) .gt. thresh) then
+          u(i) = u(i) + omega*r0
+        end if
+      end do
+      end

@@ -1,0 +1,11 @@
+c BLAS srot: apply a plane rotation to two vectors.
+      subroutine srot(n, cc, ss, x, y)
+      real x(1024), y(1024), cc, ss
+      integer n, i
+      real t0
+      do i = 1, n
+        t0 = cc*x(i) + ss*y(i)
+        y(i) = cc*y(i) - ss*x(i)
+        x(i) = t0
+      end do
+      end

@@ -1,0 +1,8 @@
+c STREAM triad: a = b + q*c.
+      subroutine triad(n, q, a, b, c)
+      real a(1001), b(1001), c(1001), q
+      integer n, i
+      do i = 1, n
+        a(i) = b(i) + q*c(i)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Second-order linear recurrence (two-deep loop carry).
+      subroutine wavefront(n, a, b, x)
+      real x(1002), a(1002), b(1002)
+      integer n, i
+      do i = 3, n
+        x(i) = a(i)*x(i-1) + b(i)*x(i-2)
+      end do
+      end

@@ -1,0 +1,189 @@
+// Package mindist computes the paper's MinDist relation (Section 4.1):
+// for each pair of operations x, y, MinDist(x, y) is the minimum number
+// of cycles (possibly negative) by which x must precede y in any feasible
+// schedule at a given II, or −∞ if the dependence graph has no path from
+// x to y.
+//
+// Computing MinDist is an all-pairs longest-paths problem where a
+// dependence arc from x to y with latency L and distance ω has cost
+// L − ω·II. When II ≥ RecMII every circuit has non-positive cost, so the
+// longest path is well defined; a positive-cost circuit means the II is
+// infeasible and Compute reports it.
+//
+// Two pseudo-operations bracket the loop body (Section 4.1): Start, a
+// zero-cost predecessor of every operation, fixed at cycle 0; and Stop, a
+// successor of every operation at the operation's latency, so that
+// MinDist(Start, Stop) is the critical-path length of one iteration.
+package mindist
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// NoPath is the distance reported when no dependence path exists. It is
+// small enough that adding any legal arc cost cannot underflow.
+const NoPath = -(1 << 40)
+
+// Table holds the MinDist relation for one loop at one II.
+type Table struct {
+	II    int
+	n     int // number of real ops; Start = n, Stop = n+1
+	d     []int
+	width int
+}
+
+// ErrInfeasible reports a positive-cost dependence circuit: the II is
+// below the loop's recurrence-constrained minimum.
+type ErrInfeasible struct {
+	II int
+}
+
+func (e *ErrInfeasible) Error() string {
+	return fmt.Sprintf("mindist: positive dependence circuit at II=%d (II < RecMII)", e.II)
+}
+
+// Compute builds the MinDist table for the loop at the given II.
+func Compute(l *ir.Loop, ii int) (*Table, error) {
+	if !l.Finalized() {
+		panic("mindist: loop not finalized")
+	}
+	if ii < 1 {
+		panic("mindist: II must be positive")
+	}
+	n := len(l.Ops)
+	w := n + 2
+	t := &Table{II: ii, n: n, d: make([]int, w*w), width: w}
+	for i := range t.d {
+		t.d[i] = NoPath
+	}
+	at := func(x, y int) int { return x*w + y }
+	relax := func(x, y, c int) {
+		if c > t.d[at(x, y)] {
+			t.d[at(x, y)] = c
+		}
+	}
+	for _, dep := range l.Deps {
+		relax(int(dep.From), int(dep.To), dep.Latency-dep.Omega*ii)
+	}
+	start, stop := n, n+1
+	for i, op := range l.Ops {
+		relax(start, i, 0)
+		relax(i, stop, l.Mach.Latency(op.Opcode))
+	}
+	relax(start, stop, 0)
+	// MinDist(x, x) = 0 by definition; a self arc with negative cost
+	// imposes nothing, and one with positive cost is caught below.
+	for x := 0; x < w; x++ {
+		relax(x, x, 0)
+	}
+
+	// Floyd–Warshall, maximizing.
+	for k := 0; k < w; k++ {
+		rowK := t.d[k*w : (k+1)*w]
+		for x := 0; x < w; x++ {
+			dxk := t.d[at(x, k)]
+			if dxk == NoPath {
+				continue
+			}
+			rowX := t.d[x*w : (x+1)*w]
+			for y := 0; y < w; y++ {
+				if c := rowK[y]; c != NoPath && dxk+c > rowX[y] {
+					rowX[y] = dxk + c
+				}
+			}
+		}
+	}
+	for x := 0; x < w; x++ {
+		if t.d[at(x, x)] > 0 {
+			return nil, &ErrInfeasible{II: ii}
+		}
+	}
+	return t, nil
+}
+
+// N returns the number of real operations.
+func (t *Table) N() int { return t.n }
+
+// Start returns the index of the Start pseudo-op.
+func (t *Table) Start() int { return t.n }
+
+// Stop returns the index of the Stop pseudo-op.
+func (t *Table) Stop() int { return t.n + 1 }
+
+// Dist returns MinDist(x, y), or NoPath. Indices are op ids, Start() or
+// Stop().
+func (t *Table) Dist(x, y int) int { return t.d[x*t.width+y] }
+
+// CriticalPath returns MinDist(Start, Stop): the minimum length in cycles
+// of one loop iteration.
+func (t *Table) CriticalPath() int { return t.Dist(t.Start(), t.Stop()) }
+
+// MinLT returns the schedule-independent lower bound on the lifetime of
+// value v at this table's II (Section 5.1):
+//
+//	MinLT(v) = max over flow deps (d → u, ω) of ω·II + MinDist(d, u).
+//
+// For the rare multi-def merge values this generalizes to
+// max over uses of (min over defs), which stays a valid lower bound. A
+// value without in-loop readers is live for its defining latency.
+func MinLT(l *ir.Loop, t *Table, v ir.ValueID) int {
+	val := l.Value(v)
+	if len(val.Defs) == 0 {
+		return 0
+	}
+	best := 0
+	maxDefLat := 0
+	for _, d := range val.Defs {
+		if lat := l.Mach.Latency(l.Op(d).Opcode); lat > maxDefLat {
+			maxDefLat = lat
+		}
+	}
+	hasUse := false
+	for _, dep := range l.Deps {
+		if dep.Kind != ir.DepFlow || dep.Val != v {
+			continue
+		}
+		hasUse = true
+		lt := NoPath
+		// min over defs of ω·II + MinDist(def, use)
+		for _, d := range val.Defs {
+			md := t.Dist(int(d), int(dep.To))
+			if md == NoPath {
+				continue
+			}
+			cand := dep.Omega*t.II + md
+			if lt == NoPath || cand < lt {
+				lt = cand
+			}
+		}
+		if lt != NoPath && lt > best {
+			best = lt
+		}
+	}
+	if !hasUse {
+		return maxDefLat
+	}
+	if best < maxDefLat {
+		best = maxDefLat
+	}
+	return best
+}
+
+// MinAvg returns the schedule-independent lower bound on the loop's
+// average (and hence approximately peak) register pressure for the given
+// register file at this table's II (Section 3.2):
+//
+//	MinAvg = Σ over values v of ⌈MinLT(v)/II⌉.
+func MinAvg(l *ir.Loop, t *Table, file ir.RegFile) int {
+	sum := 0
+	for _, v := range l.Values {
+		if v.File != file || !v.IsVariant() {
+			continue
+		}
+		lt := MinLT(l, t, v.ID)
+		sum += (lt + t.II - 1) / t.II
+	}
+	return sum
+}

@@ -1,0 +1,148 @@
+// Package mrt implements the modulo resource table (Section 1 of the
+// paper): a table with II entries, each tracking which machine resources
+// are reserved during that cycle modulo II. Placing an operation at cycle
+// t commits its functional unit for cycles t+k·II for all k; for the
+// non-pipelined divider the reservation spans the op's full latency.
+//
+// Operations were assigned to specific functional-unit instances before
+// scheduling, so a slot is identified by (unit class, instance, cycle mod
+// II) and holds at most one operation.
+package mrt
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// noOp marks an empty slot.
+const noOp ir.OpID = -1
+
+// Table is a modulo resource table for one loop at one II.
+type Table struct {
+	ii    int
+	loop  *ir.Loop
+	slots [][]ir.OpID // [kind][instance*ii + cycle]
+	at    []int       // issue cycle per op, ir.Unplaced if absent
+}
+
+// New returns an empty table for the loop at the given II.
+func New(l *ir.Loop, ii int) *Table {
+	if ii < 1 {
+		panic("mrt: II must be positive")
+	}
+	t := &Table{ii: ii, loop: l, at: make([]int, len(l.Ops))}
+	t.slots = make([][]ir.OpID, machine.NumFUKinds)
+	for k := range t.slots {
+		n := l.Mach.Count(machine.FUKind(k))
+		t.slots[k] = make([]ir.OpID, n*ii)
+		for i := range t.slots[k] {
+			t.slots[k][i] = noOp
+		}
+	}
+	for i := range t.at {
+		t.at[i] = ir.Unplaced
+	}
+	return t
+}
+
+// II returns the table's initiation interval.
+func (t *Table) II() int { return t.ii }
+
+// Placed reports whether the op currently occupies the table.
+func (t *Table) Placed(id ir.OpID) bool { return t.at[id] != ir.Unplaced }
+
+// Cycle returns the op's issue cycle, or ir.Unplaced.
+func (t *Table) Cycle(id ir.OpID) int { return t.at[id] }
+
+func (t *Table) span(op *ir.Op) (kind machine.FUKind, fu, busy int) {
+	info := t.loop.Mach.Info(op.Opcode)
+	return info.Kind, op.FU, info.Busy
+}
+
+// Conflicts returns the distinct ops whose reservations collide with
+// placing op at the given cycle. A nil result means the placement is
+// conflict-free. If the op's reservation pattern cannot fit at any cycle
+// (busy > II, impossible once II ≥ ResMII), Conflicts reports the op
+// itself as its own blocker.
+func (t *Table) Conflicts(op *ir.Op, cycle int) []ir.OpID {
+	kind, fu, busy := t.span(op)
+	if busy > t.ii {
+		return []ir.OpID{op.ID}
+	}
+	var out []ir.OpID
+	seen := map[ir.OpID]bool{}
+	for i := 0; i < busy; i++ {
+		c := mod(cycle+i, t.ii)
+		if o := t.slots[kind][fu*t.ii+c]; o != noOp && o != op.ID && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Free reports whether op can be placed at cycle without any conflict.
+func (t *Table) Free(op *ir.Op, cycle int) bool {
+	kind, fu, busy := t.span(op)
+	if busy > t.ii {
+		return false
+	}
+	for i := 0; i < busy; i++ {
+		c := mod(cycle+i, t.ii)
+		if o := t.slots[kind][fu*t.ii+c]; o != noOp && o != op.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// Place records op at the given issue cycle. It panics on conflict or if
+// the op is already placed: schedulers must eject first.
+func (t *Table) Place(op *ir.Op, cycle int) {
+	if t.at[op.ID] != ir.Unplaced {
+		panic(fmt.Sprintf("mrt: op%d already placed", op.ID))
+	}
+	if !t.Free(op, cycle) {
+		panic(fmt.Sprintf("mrt: op%d conflicts at cycle %d", op.ID, cycle))
+	}
+	kind, fu, busy := t.span(op)
+	for i := 0; i < busy; i++ {
+		c := mod(cycle+i, t.ii)
+		t.slots[kind][fu*t.ii+c] = op.ID
+	}
+	t.at[op.ID] = cycle
+}
+
+// Eject removes a placed op from the table.
+func (t *Table) Eject(op *ir.Op) {
+	cycle := t.at[op.ID]
+	if cycle == ir.Unplaced {
+		panic(fmt.Sprintf("mrt: op%d not placed", op.ID))
+	}
+	kind, fu, busy := t.span(op)
+	for i := 0; i < busy; i++ {
+		c := mod(cycle+i, t.ii)
+		if t.slots[kind][fu*t.ii+c] != op.ID {
+			panic(fmt.Sprintf("mrt: corrupt slot for op%d", op.ID))
+		}
+		t.slots[kind][fu*t.ii+c] = noOp
+	}
+	t.at[op.ID] = ir.Unplaced
+}
+
+// Schedule extracts the current placements.
+func (t *Table) Schedule() *ir.Schedule {
+	s := ir.NewSchedule(t.ii, len(t.at))
+	copy(s.Time, t.at)
+	return s
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,131 @@
+package mrt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestPlaceConflictEject(t *testing.T) {
+	l := fixture.Sample(machine.Cydra())
+	tb := New(l, 2)
+	// Ops 0 and 1 are the two FAdds on the single Adder.
+	add0, add1 := l.Ops[0], l.Ops[1]
+	if !tb.Free(add0, 0) {
+		t.Fatal("empty table should accept add0 at cycle 0")
+	}
+	tb.Place(add0, 0)
+	if tb.Free(add1, 0) {
+		t.Error("same adder, same cycle mod II: conflict expected")
+	}
+	if tb.Free(add1, 2) {
+		t.Error("cycle 2 ≡ 0 mod 2: conflict expected")
+	}
+	if !tb.Free(add1, 1) {
+		t.Error("cycle 1 should be free")
+	}
+	cf := tb.Conflicts(add1, 0)
+	if len(cf) != 1 || cf[0] != add0.ID {
+		t.Errorf("Conflicts = %v, want [op0]", cf)
+	}
+	tb.Eject(add0)
+	if !tb.Free(add1, 0) {
+		t.Error("after eject the slot must be free")
+	}
+}
+
+func TestDividerReservationPattern(t *testing.T) {
+	l := fixture.Divide(machine.Cydra())
+	var div, sqrt *ir.Op
+	for _, op := range l.Ops {
+		switch op.Opcode {
+		case machine.FDiv:
+			div = op
+		case machine.FSqrt:
+			sqrt = op
+		}
+	}
+	tb := New(l, 38)
+	tb.Place(div, 0) // occupies divider cycles 0..16
+	for c := 0; c < 17; c++ {
+		if tb.Free(sqrt, c) {
+			t.Errorf("sqrt at %d overlaps the div's 17-cycle reservation", c)
+		}
+	}
+	if !tb.Free(sqrt, 17) {
+		t.Error("sqrt at 17 should fit: 17..37 is free")
+	}
+	if tb.Free(sqrt, 18) {
+		t.Error("sqrt at 18 wraps into cycle 0..? 18+21=39 > 38 wraps to 0 which div holds")
+	}
+}
+
+func TestBusyExceedingIIUnplaceable(t *testing.T) {
+	l := fixture.Divide(machine.Cydra())
+	var div *ir.Op
+	for _, op := range l.Ops {
+		if op.Opcode == machine.FDiv {
+			div = op
+		}
+	}
+	tb := New(l, 10) // 17 busy cycles can never fit in II=10
+	if tb.Free(div, 0) {
+		t.Error("a 17-cycle pattern cannot fit II=10")
+	}
+	cf := tb.Conflicts(div, 3)
+	if len(cf) != 1 || cf[0] != div.ID {
+		t.Errorf("Conflicts should report the op as its own blocker, got %v", cf)
+	}
+}
+
+// Property: place/eject round-trips restore the table exactly; random
+// sequences of placements and ejections never corrupt slots.
+func TestPlaceEjectRoundTrip(t *testing.T) {
+	l := fixture.Sample(machine.Cydra())
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		ii := 2 + rng.Intn(6)
+		tb := New(l, ii)
+		placedAt := map[ir.OpID]int{}
+		for step := 0; step < 200; step++ {
+			op := l.Ops[rng.Intn(len(l.Ops))]
+			if c, ok := placedAt[op.ID]; ok {
+				if tb.Cycle(op.ID) != c {
+					t.Fatalf("cycle mismatch for op%d", op.ID)
+				}
+				tb.Eject(op)
+				delete(placedAt, op.ID)
+				continue
+			}
+			c := rng.Intn(3 * ii)
+			if tb.Free(op, c) {
+				tb.Place(op, c)
+				placedAt[op.ID] = c
+			} else if len(tb.Conflicts(op, c)) == 0 {
+				t.Fatalf("not free but no conflicts: op%d at %d", op.ID, c)
+			}
+		}
+		// Cross-check occupancy against an independent reconstruction.
+		s := tb.Schedule()
+		for id, c := range placedAt {
+			if s.Time[id] != c {
+				t.Fatalf("schedule extraction lost op%d", id)
+			}
+		}
+	}
+}
+
+func TestPlacePanicsOnConflict(t *testing.T) {
+	l := fixture.Sample(machine.Cydra())
+	tb := New(l, 2)
+	tb.Place(l.Ops[0], 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting Place must panic")
+		}
+	}()
+	tb.Place(l.Ops[1], 2)
+}

@@ -1,0 +1,349 @@
+// Package regalloc allocates rotating registers for modulo-scheduled
+// loops (Section 2.3 and the allocation study of Rau, Lee, Tirumalai and
+// Schlansker, PLDI 1992, whose headline result the paper leans on: good
+// heuristics almost always reach the MaxLive lower bound).
+//
+// In a rotating file of N registers, the instance of value v produced by
+// iteration i occupies physical register (r_v − i) mod N — the iteration
+// control pointer decrements every II cycles — and is live over
+// [s_v + i·II, e_v + i·II). Two values v and w with specifier offsets
+// r_v, r_w collide exactly when
+//
+//	(r_w − r_v) mod N ∈ { m mod N : s_v − e_w < m·II < e_v − s_w },
+//
+// so allocation is a cyclic-residue packing problem. The allocator
+// assigns offsets greedily under a configurable strategy and value
+// ordering, growing N from the lower bound
+// max(MaxLive, max_v ⌈len(v)/II⌉) until everything fits; Verify
+// re-checks the result by brute-force simulation.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+)
+
+// Strategy selects how a feasible offset is chosen among candidates.
+type Strategy int
+
+const (
+	// FirstFit takes the smallest feasible offset.
+	FirstFit Strategy = iota
+	// EndFit takes the feasible offset closest (cyclically, upward) to
+	// where the previously allocated value's registers end, packing
+	// wands end to end as in Rau et al.'s end-fit.
+	EndFit
+	// BestFit takes the feasible offset that, after placement, leaves
+	// the fewest feasible offsets destroyed for the remaining values —
+	// approximated by counting newly forbidden residues.
+	BestFit
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case FirstFit:
+		return "first-fit"
+	case EndFit:
+		return "end-fit"
+	case BestFit:
+		return "best-fit"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Order selects the order values are allocated in.
+type Order int
+
+const (
+	// StartTime allocates values in increasing lifetime start order
+	// (Rau et al.'s start-time ordering).
+	StartTime Order = iota
+	// Adjacency allocates values in increasing start order but breaks
+	// ties toward the value whose start abuts the previous end
+	// (adjacency ordering).
+	Adjacency
+)
+
+func (o Order) String() string {
+	if o == Adjacency {
+		return "adjacency"
+	}
+	return "start-time"
+}
+
+// Allocation maps each value to its rotating-register offset.
+type Allocation struct {
+	N      int // rotating registers consumed
+	Offset map[ir.ValueID]int
+}
+
+// LowerBound returns the schedule-dependent lower bound on the rotating
+// registers needed: MaxLive, but never less than any single value's
+// ⌈lifetime/II⌉ span.
+func LowerBound(ranges []lifetime.Range, ii int) int {
+	vec := lifetime.LiveVector(ranges, ii)
+	n := 0
+	for _, c := range vec {
+		if c > n {
+			n = c
+		}
+	}
+	for _, r := range ranges {
+		if span := (r.Len() + ii - 1) / ii; span > n {
+			n = span
+		}
+	}
+	return n
+}
+
+// Allocate assigns offsets using the given strategy and ordering, trying
+// file sizes from the lower bound upward. It returns the first size at
+// which the greedy pass succeeds. Allocate panics only on nonsensical
+// input (ii < 1); any range set gets some allocation since N can grow.
+func Allocate(ranges []lifetime.Range, ii int, strat Strategy, order Order) Allocation {
+	if ii < 1 {
+		panic("regalloc: II must be positive")
+	}
+	if len(ranges) == 0 {
+		return Allocation{N: 0, Offset: map[ir.ValueID]int{}}
+	}
+	ordered := orderValues(ranges, order)
+	lo := LowerBound(ranges, ii)
+	if lo < 1 {
+		lo = 1
+	}
+	for n := lo; ; n++ {
+		if alloc, ok := tryFit(ordered, ii, n, strat); ok {
+			alloc.N = n
+			return alloc
+		}
+	}
+}
+
+func orderValues(ranges []lifetime.Range, order Order) []lifetime.Range {
+	out := append([]lifetime.Range(nil), ranges...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Val < out[j].Val
+	})
+	if order == Adjacency {
+		// Greedy chaining: repeatedly pick the unplaced value whose start
+		// is nearest at-or-after the previous pick's end.
+		rem := out
+		chained := make([]lifetime.Range, 0, len(rem))
+		cur := rem[0]
+		chained = append(chained, cur)
+		rem = rem[1:]
+		for len(rem) > 0 {
+			best, bestGap := -1, 0
+			for i, r := range rem {
+				gap := r.Start - cur.End
+				if gap < 0 {
+					gap += 1 << 20 // prefer starts after the current end
+				}
+				if best == -1 || gap < bestGap {
+					best, bestGap = i, gap
+				}
+			}
+			cur = rem[best]
+			chained = append(chained, cur)
+			rem = append(rem[:best], rem[best+1:]...)
+		}
+		out = chained
+	}
+	return out
+}
+
+// tryFit attempts a greedy assignment into n registers.
+func tryFit(ordered []lifetime.Range, ii, n int, strat Strategy) (Allocation, bool) {
+	alloc := Allocation{Offset: make(map[ir.ValueID]int, len(ordered))}
+	placed := make([]lifetime.Range, 0, len(ordered))
+	prevEnd := 0
+	for _, v := range ordered {
+		var feasible []int
+		for r := 0; r < n; r++ {
+			if fits(v, r, placed, alloc.Offset, ii, n) {
+				feasible = append(feasible, r)
+			}
+		}
+		if len(feasible) == 0 {
+			return Allocation{}, false
+		}
+		var pick int
+		switch strat {
+		case FirstFit:
+			pick = feasible[0]
+		case EndFit:
+			// Closest at-or-above the previous wand's ending offset.
+			pick = feasible[0]
+			bestDist := cyclicUp(prevEnd, feasible[0], n)
+			for _, r := range feasible[1:] {
+				if d := cyclicUp(prevEnd, r, n); d < bestDist {
+					pick, bestDist = r, d
+				}
+			}
+		case BestFit:
+			// Most-constrained placement: choose the offset that leaves
+			// the fewest offsets open for a hypothetical copy of v —
+			// i.e. pack v where it fits most snugly. Probing every
+			// feasible offset is O(N²) per value; cap the candidate set
+			// to keep large loops affordable.
+			const bestFitCap = 24
+			if len(feasible) > bestFitCap {
+				feasible = feasible[:bestFitCap]
+			}
+			pick = feasible[0]
+			bestCost := 1 << 30
+			probe := v
+			probe.Val = ir.ValueID(-1) // synthetic copy, distinct from v
+			for _, r := range feasible {
+				trial := append(placed[:len(placed):len(placed)], v)
+				trialOff := alloc.Offset
+				trialOff[v.Val] = r
+				remaining := 0
+				for q := 0; q < n; q++ {
+					if fits(probe, q, trial, trialOff, ii, n) {
+						remaining++
+					}
+				}
+				delete(trialOff, v.Val)
+				cost := remaining*n + cyclicUp(prevEnd, r, n)
+				if cost < bestCost {
+					pick, bestCost = r, cost
+				}
+			}
+		}
+		alloc.Offset[v.Val] = pick
+		placed = append(placed, v)
+		prevEnd = pick + (v.Len()+ii-1)/ii
+	}
+	return alloc, true
+}
+
+func cyclicUp(from, to, n int) int {
+	d := (to - from) % n
+	if d < 0 {
+		d += n
+	}
+	return d
+}
+
+// fits reports whether offset r for v collides with any placed value, or
+// with v's own later instances.
+func fits(v lifetime.Range, r int, placed []lifetime.Range, off map[ir.ValueID]int, ii, n int) bool {
+	// Self: instances i and i+kN share a register; they must not overlap.
+	if n*ii < v.Len() {
+		return false
+	}
+	for _, w := range placed {
+		if w.Val == v.Val {
+			continue
+		}
+		rw := off[w.Val]
+		diff := (rw - r) % n
+		if diff < 0 {
+			diff += n
+		}
+		for _, m := range badResidues(v, w, ii, n) {
+			if diff == m {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// badResidues lists the residues (r_w − r_v) mod n that make v and w
+// collide: all m with s_v − e_w < m·II < e_v − s_w, reduced mod n.
+func badResidues(v, w lifetime.Range, ii, n int) []int {
+	lo := floorDiv(v.Start-w.End, ii) + 1
+	hi := ceilDiv(v.End-w.Start, ii) - 1
+	var out []int
+	seen := map[int]bool{}
+	for m := lo; m <= hi; m++ {
+		if m*ii <= v.Start-w.End || m*ii >= v.End-w.Start {
+			continue
+		}
+		res := m % n
+		if res < 0 {
+			res += n
+		}
+		if !seen[res] {
+			seen[res] = true
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// Verify checks an allocation by brute force: it simulates enough
+// iterations that every residue pattern repeats and checks that no
+// physical register holds two live instances at once. It returns nil if
+// the allocation is sound.
+func Verify(ranges []lifetime.Range, ii int, alloc Allocation) error {
+	if len(ranges) == 0 {
+		return nil
+	}
+	n := alloc.N
+	if n == 0 {
+		return fmt.Errorf("regalloc: empty allocation for %d values", len(ranges))
+	}
+	maxEnd := 0
+	for _, r := range ranges {
+		if r.End > maxEnd {
+			maxEnd = r.End
+		}
+	}
+	spanIters := maxEnd/ii + 2
+	iters := 2*n + 2*spanIters // covers all residue alignments
+	type hold struct {
+		val  ir.ValueID
+		iter int
+	}
+	horizon := (iters + spanIters) * ii
+	for t := 0; t < horizon; t++ {
+		var perReg = make(map[int]hold)
+		for _, r := range ranges {
+			off, ok := alloc.Offset[r.Val]
+			if !ok {
+				return fmt.Errorf("regalloc: value %d not allocated", r.Val)
+			}
+			for i := 0; i <= iters; i++ {
+				if t < r.Start+i*ii || t >= r.End+i*ii {
+					continue
+				}
+				phys := (off - i) % n
+				if phys < 0 {
+					phys += n
+				}
+				if prev, busy := perReg[phys]; busy && !(prev.val == r.Val && prev.iter == i) {
+					return fmt.Errorf("regalloc: collision at t=%d reg=%d: value %d iter %d vs value %d iter %d",
+						t, phys, prev.val, prev.iter, r.Val, i)
+				}
+				perReg[phys] = hold{r.Val, i}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package rt defines the runtime-state types shared by the sequential
+// reference interpreter and the VLIW simulator: the environment a loop
+// runs in and the observable outcome of a run. Keeping them here lets
+// fixtures, tests, and both execution engines agree on one vocabulary.
+package rt
+
+import "repro/internal/ir"
+
+// InstKey names one value instance: the one computed by iteration Iter
+// (negative iterations are preheader live-ins).
+type InstKey struct {
+	Val  ir.ValueID
+	Iter int
+}
+
+// Env is the initial machine state for a run.
+type Env struct {
+	// Mem is the initial memory image (copied by the engines, never
+	// mutated).
+	Mem []ir.Scalar
+	// GPR supplies loop-invariant live-in values; compile-time constants
+	// (ir.Value.ConstValid) need not appear.
+	GPR map[ir.ValueID]ir.Scalar
+	// Init supplies loop-variant instances for iterations < 0 — the
+	// preheader state of recurrences. Missing entries read as zero,
+	// matching a zeroed rotating register file.
+	Init map[InstKey]ir.Scalar
+}
+
+// Result is the observable outcome of a run.
+type Result struct {
+	Mem ir.Memory
+	// LiveOut holds the final (last-iteration) instance of every value
+	// marked LiveOut; empty for zero-trip runs.
+	LiveOut map[ir.ValueID]ir.Scalar
+	// Executed counts operations that actually ran (predicated-off and
+	// stage-squashed ops are not counted) — a cheap cross-check between
+	// engines.
+	Executed int64
+}

@@ -1,0 +1,17 @@
+package sched
+
+// Slack returns the paper's bidirectional slack scheduler (Sections 4-5).
+func Slack(cfg Config) *Scheduler {
+	return New(&SlackPolicy{}, cfg)
+}
+
+// SlackUnidirectional returns the ablated slack scheduler: the same
+// dynamic-priority framework, always placing as early as possible.
+func SlackUnidirectional(cfg Config) *Scheduler {
+	return New(&SlackPolicy{Unidirectional: true}, cfg)
+}
+
+// Cydrome returns the reimplemented baseline "Old Scheduler" (Section 8).
+func Cydrome(cfg Config) *Scheduler {
+	return New(&CydromePolicy{}, cfg)
+}

@@ -1,0 +1,311 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/mii"
+	"repro/internal/mindist"
+)
+
+// Policy supplies the heuristic decisions of the central loop.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// BeginAttempt runs once per II attempt, after bounds initialization;
+	// policies compute per-attempt data (e.g. static priorities) here.
+	BeginAttempt(st *State)
+	// ChooseOp picks the next unplaced index to place (an op id, or
+	// st.StopIndex() for the Stop pseudo-op).
+	ChooseOp(st *State) int
+	// ScanEarly reports whether x's issue-cycle search should run from
+	// Estart toward Lstart (true) or from Lstart toward Estart (false).
+	ScanEarly(st *State, x int) bool
+}
+
+// Config tunes the framework. The zero value gives the paper's settings.
+type Config struct {
+	// IncrementByOne retries failed loops at II+1 instead of the paper's
+	// II + max(⌊0.04·II⌋, 1) (Section 4.2, footnote 6 ablation).
+	IncrementByOne bool
+	// EjectBudgetPerOp scales the per-attempt ejection budget
+	// ("operations ejected too many times", step 6). Default 16.
+	EjectBudgetPerOp int
+	// MinEjectBudget floors the budget for tiny loops. Default 64.
+	MinEjectBudget int
+	// MaxII caps the search; 0 derives a generous bound from the loop.
+	MaxII int
+	// StartII overrides the initial II (default: the loop's MII).
+	StartII int
+	// Trace, when non-nil, receives one line per central-loop event;
+	// used by tests and the CLI's -trace flag.
+	Trace func(format string, args ...any)
+}
+
+func (c Config) trace(format string, args ...any) {
+	if c.Trace != nil {
+		c.Trace(format, args...)
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.EjectBudgetPerOp == 0 {
+		c.EjectBudgetPerOp = 16
+	}
+	if c.MinEjectBudget == 0 {
+		c.MinEjectBudget = 64
+	}
+	return c
+}
+
+// Stats instruments one Schedule call with the Section 6 counters.
+type Stats struct {
+	IIAttempts   int           // values of II tried
+	CentralIters int64         // iterations of the central loop
+	Placements   int64         // operations placed (including re-placements)
+	Forces       int64         // step-3 invocations (no conflict-free slot)
+	Ejections    int64         // operations ejected from partial schedules
+	Restarts     int64         // step-6 invocations (budget exhausted)
+	Elapsed      time.Duration // wall-clock scheduling time
+}
+
+// Backtracked reports whether the loop needed any backtracking.
+func (s Stats) Backtracked() bool { return s.Forces > 0 || s.Restarts > 0 }
+
+// Result reports one scheduling run.
+type Result struct {
+	Loop     *ir.Loop
+	Policy   string
+	Bounds   mii.Bounds
+	Schedule *ir.Schedule   // nil if the scheduler gave up
+	MinDist  *mindist.Table // at the final (or last attempted) II
+	Stats    Stats
+	FailedII int // last II attempted when Schedule is nil
+}
+
+// OK reports whether a feasible schedule was found.
+func (r *Result) OK() bool { return r.Schedule != nil }
+
+// II returns the achieved II, or the last attempted II on failure (the
+// convention of the paper's Table 4 for Cydrome's 14 failures).
+func (r *Result) II() int {
+	if r.Schedule != nil {
+		return r.Schedule.II
+	}
+	return r.FailedII
+}
+
+// Scheduler runs the operation-driven framework under one policy.
+type Scheduler struct {
+	policy Policy
+	cfg    Config
+}
+
+// New returns a scheduler with the given policy and configuration.
+func New(policy Policy, cfg Config) *Scheduler {
+	return &Scheduler{policy: policy, cfg: cfg.withDefaults()}
+}
+
+// Schedule modulo schedules the loop: it tries II = MII first and, when
+// the heuristics give up, retries at increased II until success or the
+// II ceiling (Section 4.2).
+func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
+	if !l.Finalized() {
+		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
+	}
+	started := time.Now()
+	bounds, err := mii.Compute(l)
+	if err != nil {
+		return nil, fmt.Errorf("sched: loop %s: %w", l.Name, err)
+	}
+	res := &Result{Loop: l, Policy: s.policy.Name(), Bounds: bounds}
+
+	ii := bounds.MII
+	if s.cfg.StartII > ii {
+		ii = s.cfg.StartII
+	}
+	maxII := s.cfg.MaxII
+	if maxII == 0 {
+		maxII = s.autoMaxII(l, bounds)
+	}
+
+	for ii <= maxII {
+		res.Stats.IIAttempts++
+		md, err := mindist.Compute(l, ii)
+		if err != nil {
+			// II below RecMII (possible only with StartII misuse): step up.
+			res.FailedII = ii
+			ii = s.nextII(ii)
+			continue
+		}
+		res.MinDist = md
+		st := newState(l, ii, md)
+		if s.attempt(st, &res.Stats) {
+			res.Schedule = st.mrt.Schedule()
+			res.Stats.Elapsed = time.Since(started)
+			return res, nil
+		}
+		res.Stats.Restarts++
+		res.FailedII = ii
+		ii = s.nextII(ii)
+	}
+	res.Stats.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// nextII implements the II increment policy of Section 4.2: by
+// max(⌊0.04·II⌋, 1) to avoid excessive compile time on large loops, or
+// by 1 under the footnote-6 ablation.
+func (s *Scheduler) nextII(ii int) int {
+	if s.cfg.IncrementByOne {
+		return ii + 1
+	}
+	step := ii * 4 / 100
+	if step < 1 {
+		step = 1
+	}
+	return ii + step
+}
+
+// autoMaxII returns a ceiling at which scheduling is essentially
+// unconstrained: at twice the total busy cycles every op can claim its
+// own reservation window with room to spare.
+func (s *Scheduler) autoMaxII(l *ir.Loop, b mii.Bounds) int {
+	sum := 0
+	for _, op := range l.Ops {
+		sum += l.Mach.Info(op.Opcode).Busy
+	}
+	max := 2 * (sum + 16)
+	if cp := 2*b.MII + 16; cp > max {
+		max = cp
+	}
+	return max
+}
+
+// attempt runs the central loop (Section 4.2) at one II. It returns true
+// on a complete schedule and false when the ejection budget is exhausted
+// (step 6) or, defensively, when the iteration cap trips.
+func (s *Scheduler) attempt(st *State, stats *Stats) bool {
+	budget := st.n * s.cfg.EjectBudgetPerOp
+	if budget < s.cfg.MinEjectBudget {
+		budget = s.cfg.MinEjectBudget
+	}
+	iterCap := 4*(st.n+budget) + 256
+
+	s.policy.BeginAttempt(st)
+	defer func() { stats.Ejections += int64(st.ejections) }()
+	for iter := 0; ; iter++ {
+		if st.allPlaced() {
+			return true
+		}
+		if iter > iterCap || st.ejections > budget {
+			return false
+		}
+		stats.CentralIters++
+
+		// Step 1: choose a good operation (policy).
+		x := s.policy.ChooseOp(st)
+		if x < 0 || x > st.n || st.Placed(x) {
+			panic(fmt.Sprintf("sched: policy %s chose invalid index %d", s.policy.Name(), x))
+		}
+
+		// Step 2: search for a conflict-free issue cycle within the
+		// bounds; the modulo constraint means at most II consecutive
+		// cycles need scanning (Section 5.2). The window anchors at the
+		// end the scan starts from: [Estart, Estart+II) scanning early,
+		// [Lstart−II+1, Lstart] scanning late — otherwise a "late"
+		// placement would still be confined near Estart.
+		cycle := ir.Unplaced
+		lo := st.estart[x]
+		hi := st.lstart[x]
+		if lo <= hi {
+			if s.policy.ScanEarly(st, x) {
+				if hi > lo+st.II-1 {
+					hi = lo + st.II - 1
+				}
+				for c := lo; c <= hi; c++ {
+					if st.free(x, c) {
+						cycle = c
+						break
+					}
+				}
+			} else {
+				if lo < hi-st.II+1 {
+					lo = hi - st.II + 1
+				}
+				for c := hi; c >= lo; c-- {
+					if st.free(x, c) {
+						cycle = c
+						break
+					}
+				}
+			}
+		}
+
+		s.cfg.trace("iter %d: chose op%d estart=%d lstart=%d free=%d", iter, x, st.estart[x], st.lstart[x], cycle)
+		if cycle == ir.Unplaced {
+			// Step 3: create room by ejection. Force the op into
+			// max(Estart, 1 + its last placement) — successively later
+			// cycles avoid livelock — ejecting every conflicting op,
+			// except that brtop is never ejected (Section 4.4).
+			stats.Forces++
+			c := st.estart[x]
+			if lp := st.lastPlace[x]; lp != ir.Unplaced && lp+1 > c {
+				c = lp + 1
+			}
+			ok := false
+			for tries := 0; tries < 4*st.II+4; tries++ {
+				if s.forceAt(st, x, c) {
+					cycle = c
+					ok = true
+					break
+				}
+				c++ // a victim was brtop: search successive cycles
+			}
+			if !ok {
+				return false // cannot avoid ejecting brtop: give up this II
+			}
+			s.cfg.trace("  forced op%d at %d (ejections now %d)", x, cycle, st.ejections)
+			st.place(x, cycle)
+		} else {
+			// Step 4: place the operation and update the resource table.
+			st.place(x, cycle)
+		}
+		stats.Placements++
+
+		// Step 5: refresh Estart/Lstart for unplaced ops.
+		st.recomputeBounds()
+	}
+}
+
+// forceAt ejects everything conflicting with x at cycle c and reports
+// whether ejection was permissible (false if a victim is brtop, which
+// cannot move because its placement determines the schedule's II).
+func (s *Scheduler) forceAt(st *State, x, c int) bool {
+	var victims []int
+	for _, id := range st.resourceVictims(x, c) {
+		if int(id) == x {
+			return false // op cannot fit at any cycle (busy > II)
+		}
+		victims = append(victims, int(id))
+	}
+	if c > st.lstart[x] {
+		for _, y := range st.depVictims(x, c) {
+			victims = append(victims, y)
+		}
+	}
+	for _, y := range victims {
+		if y == st.brtop {
+			return false
+		}
+	}
+	seen := map[int]bool{}
+	for _, y := range victims {
+		if !seen[y] && st.Placed(y) {
+			seen[y] = true
+			st.eject(y)
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mindist"
+	"repro/internal/mrt"
+)
+
+// FindAtII searches exhaustively for any feasible schedule of the loop
+// at exactly the given II, with all issue cycles inside [0, horizon).
+// It is intended for small loops (≲ 12 operations): the search is a
+// depth-first enumeration over op placements with Estart/Lstart-style
+// pruning against already-placed ops and the modulo reservation table.
+//
+// A nil schedule means no feasible schedule exists *within the horizon*;
+// the paper observes that "for some loops, the minimum feasible II is
+// more than MII", and this searcher lets the test suite and the
+// benchmark harness separate those loops from heuristic misses. A
+// horizon of the critical path plus a few II is generous in practice —
+// loops needing longer schedules exist (divider tilings shift whole
+// stages), so callers pass the horizon explicitly and treat nil as
+// "infeasible within horizon".
+func FindAtII(l *ir.Loop, ii, horizon, maxNodes int) (*ir.Schedule, error) {
+	if !l.Finalized() {
+		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
+	}
+	md, err := mindist.Compute(l, ii)
+	if err != nil {
+		return nil, nil // II below RecMII: trivially infeasible
+	}
+	n := len(l.Ops)
+	if horizon < 1 {
+		horizon = md.CriticalPath() + 3*ii + 1
+	}
+	table := mrt.New(l, ii)
+	times := make([]int, n)
+	for i := range times {
+		times[i] = ir.Unplaced
+	}
+
+	// Order ops by ascending initial window size: most-constrained first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	window := func(x int) int {
+		lo := 0
+		if d := md.Dist(md.Start(), x); d != mindist.NoPath {
+			lo = d
+		}
+		return horizon - lo
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && window(order[j]) < window(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	nodes := 0
+	var dfs func(k int) bool
+	dfs = func(k int) bool {
+		if k == n {
+			return true
+		}
+		if nodes++; maxNodes > 0 && nodes > maxNodes {
+			return false
+		}
+		x := order[k]
+		lo := 0
+		if d := md.Dist(md.Start(), x); d != mindist.NoPath {
+			lo = d
+		}
+		hi := horizon - 1
+		for y := 0; y < n; y++ {
+			if times[y] == ir.Unplaced {
+				continue
+			}
+			if d := md.Dist(y, x); d != mindist.NoPath && times[y]+d > lo {
+				lo = times[y] + d
+			}
+			if d := md.Dist(x, y); d != mindist.NoPath && times[y]-d < hi {
+				hi = times[y] - d
+			}
+		}
+		for c := lo; c <= hi; c++ {
+			if !table.Free(l.Ops[x], c) {
+				continue
+			}
+			table.Place(l.Ops[x], c)
+			times[x] = c
+			if dfs(k + 1) {
+				return true
+			}
+			table.Eject(l.Ops[x])
+			times[x] = ir.Unplaced
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil, nil
+	}
+	s := ir.NewSchedule(ii, n)
+	copy(s.Time, times)
+	return s, nil
+}

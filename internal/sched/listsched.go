@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/mii"
+	"repro/internal/mindist"
+	"repro/internal/mrt"
+)
+
+// ListSchedule is a classic list scheduler adapted to the modulo
+// constraint, with no backtracking: operations are placed in decreasing
+// height order (longest dependence path to Stop), each as early as
+// possible; if an operation has no feasible slot the whole attempt fails
+// and II increases by one.
+//
+// It exists as the pedagogical baseline of Section 4: placing an
+// operation commits resources at every cycle t + k·II, so an op that
+// does not fit now may fit nowhere later, and "a list-scheduling compiler
+// is not likely to find a feasible schedule at MII when recurrence
+// circuits are present." The benchmark harness quantifies exactly that.
+func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
+	if !l.Finalized() {
+		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
+	}
+	cfg = cfg.withDefaults()
+	started := time.Now()
+	bounds, err := mii.Compute(l)
+	if err != nil {
+		return nil, fmt.Errorf("sched: loop %s: %w", l.Name, err)
+	}
+	res := &Result{Loop: l, Policy: "list", Bounds: bounds}
+
+	maxII := cfg.MaxII
+	if maxII == 0 {
+		maxII = (&Scheduler{cfg: cfg}).autoMaxII(l, bounds)
+	}
+	n := len(l.Ops)
+
+	for ii := bounds.MII; ii <= maxII; ii++ {
+		res.Stats.IIAttempts++
+		md, err := mindist.Compute(l, ii)
+		if err != nil {
+			res.FailedII = ii
+			continue
+		}
+		res.MinDist = md
+
+		// Height priority: longest path to Stop at this II.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		height := func(x int) int { return md.Dist(x, md.Stop()) }
+		sort.SliceStable(order, func(a, b int) bool {
+			ha, hb := height(order[a]), height(order[b])
+			if ha != hb {
+				return ha > hb
+			}
+			return order[a] < order[b]
+		})
+
+		table := mrt.New(l, ii)
+		times := make([]int, n)
+		for i := range times {
+			times[i] = ir.Unplaced
+		}
+		ok := true
+		for _, x := range order {
+			res.Stats.CentralIters++
+			// Earliest start from already-placed ops (both directions of
+			// the MinDist constraint must hold against each).
+			lo := 0
+			if d := md.Dist(md.Start(), x); d != mindist.NoPath {
+				lo = d
+			}
+			hi := -1
+			for y := 0; y < n; y++ {
+				if times[y] == ir.Unplaced {
+					continue
+				}
+				if d := md.Dist(y, x); d != mindist.NoPath && times[y]+d > lo {
+					lo = times[y] + d
+				}
+				if d := md.Dist(x, y); d != mindist.NoPath {
+					if b := times[y] - d; hi == -1 || b < hi {
+						hi = b
+					}
+				}
+			}
+			limit := lo + ii - 1
+			if hi != -1 && hi < limit {
+				limit = hi
+			}
+			placed := false
+			for c := lo; c <= limit; c++ {
+				if table.Free(l.Ops[x], c) {
+					table.Place(l.Ops[x], c)
+					times[x] = c
+					res.Stats.Placements++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Schedule = table.Schedule()
+			res.Stats.Elapsed = time.Since(started)
+			return res, nil
+		}
+		res.FailedII = ii
+	}
+	res.Stats.Elapsed = time.Since(started)
+	return res, nil
+}

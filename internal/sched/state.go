@@ -1,0 +1,325 @@
+// Package sched implements the paper's operation-driven modulo-scheduling
+// framework with limited backtracking (Section 4), parameterized by a
+// Policy that supplies the two heuristic decisions of the central loop:
+// which operation to place next (Section 4.3) and whether to search its
+// issue cycles early-first or late-first (Section 5.2).
+//
+// Three policies are provided:
+//
+//   - Slack: the paper's contribution — dynamic slack priority with
+//     bidirectional, lifetime-sensitive issue-cycle selection.
+//   - SlackUnidirectional: the ablation of Section 7 — the same dynamic
+//     priority but always scanning early-first.
+//   - Cydrome: the baseline "Old Scheduler" of Section 8 — static
+//     initial-slack priority, recurrence operations placed first, and
+//     earliest-only placement.
+//
+// A fourth scheduler, List (listsched.go), is a classic no-backtracking
+// list scheduler included to demonstrate why recurrence circuits defeat
+// purely unidirectional approaches (Section 4).
+package sched
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mii"
+	"repro/internal/mindist"
+	"repro/internal/mrt"
+)
+
+// State is one II attempt's scheduling state, visible to policies.
+type State struct {
+	L  *ir.Loop
+	II int
+	MD *mindist.Table
+
+	n    int // number of real ops; Stop has index n
+	mrt  *mrt.Table
+	time []int // issue cycle per index (ops + Stop); ir.Unplaced if absent
+
+	estart, lstart []int // bounds per index (ops + Stop)
+	lastPlace      []int // most recent placement, or ir.Unplaced if never placed
+
+	lstartStop int  // current Lstart(Stop) anchor (Section 4.2)
+	contention bool // ResMII > 1
+
+	critical []bool // per op: uses a critical resource at this II
+	divider  []bool // per op: runs on the (non-pipelined) divider
+	minLT    []int  // per value: MinLT at this II (RR values; 0 elsewhere)
+
+	preds, succs [][]int // immediate dependence neighbours per op (dedup, no self)
+	brtop        int     // index of the brtop op, or -1
+
+	unplacedCount int
+	ejections     int // ejections charged against this attempt's budget
+}
+
+// StopIndex returns the index representing the Stop pseudo-op, which is
+// scheduled like any other operation (Section 4.1) but needs no
+// resources.
+func (st *State) StopIndex() int { return st.n }
+
+// NumOps returns the number of real operations.
+func (st *State) NumOps() int { return st.n }
+
+// Placed reports whether index x (an op or Stop) is currently placed.
+func (st *State) Placed(x int) bool { return st.time[x] != ir.Unplaced }
+
+// Time returns the current issue cycle of x, or ir.Unplaced.
+func (st *State) Time(x int) int { return st.time[x] }
+
+// Estart and Lstart return the current bounds of x.
+func (st *State) Estart(x int) int { return st.estart[x] }
+func (st *State) Lstart(x int) int { return st.lstart[x] }
+
+// Slack returns Lstart(x) − Estart(x); negative slack means the op cannot
+// currently be placed without ejections.
+func (st *State) Slack(x int) int { return st.lstart[x] - st.estart[x] }
+
+// Critical reports whether op x uses a critical resource (Section 4.3).
+func (st *State) Critical(x int) bool { return x < st.n && st.critical[x] }
+
+// UsesDivider reports whether op x runs on the divider.
+func (st *State) UsesDivider(x int) bool { return x < st.n && st.divider[x] }
+
+// Contention reports whether the loop has any resource contention.
+func (st *State) Contention() bool { return st.contention }
+
+// MinLT returns the schedule-independent minimum lifetime of value v at
+// this II (Section 5.1).
+func (st *State) MinLT(v ir.ValueID) int { return st.minLT[v] }
+
+// Preds and Succs return the immediate dependence neighbours of op x.
+func (st *State) Preds(x int) []int { return st.preds[x] }
+func (st *State) Succs(x int) []int { return st.succs[x] }
+
+// newState builds the attempt state: initial bounds from MinDist, the
+// Lstart(Stop) anchor with its extra slack (Section 4.2), per-attempt
+// criticality marks (Section 4.3) and MinLT values (Section 5.1).
+func newState(l *ir.Loop, iiVal int, md *mindist.Table) *State {
+	n := len(l.Ops)
+	st := &State{
+		L: l, II: iiVal, MD: md,
+		n:   n,
+		mrt: mrt.New(l, iiVal),
+	}
+	st.time = make([]int, n+1)
+	st.estart = make([]int, n+1)
+	st.lstart = make([]int, n+1)
+	st.lastPlace = make([]int, n+1)
+	for i := range st.time {
+		st.time[i] = ir.Unplaced
+		st.lastPlace[i] = ir.Unplaced
+	}
+	st.unplacedCount = n + 1
+
+	st.contention = mii.HasResourceContention(l)
+	if st.contention {
+		st.critical = mii.CriticalOps(l, iiVal)
+	} else {
+		st.critical = make([]bool, n)
+	}
+	st.divider = make([]bool, n)
+	st.brtop = -1
+	for i, op := range l.Ops {
+		st.divider[i] = l.Mach.Info(op.Opcode).Kind == machine.Divider
+		if op.Opcode == machine.BrTop {
+			st.brtop = i
+		}
+	}
+
+	st.minLT = make([]int, len(l.Values))
+	for _, v := range l.Values {
+		if v.File == ir.RR && v.IsVariant() {
+			st.minLT[v.ID] = mindist.MinLT(l, md, v.ID)
+		}
+	}
+
+	st.preds = make([][]int, n)
+	st.succs = make([][]int, n)
+	seenP := map[[2]int]bool{}
+	for _, d := range l.Deps {
+		if d.From == d.To {
+			continue
+		}
+		if !seenP[[2]int{int(d.From), int(d.To)}] {
+			seenP[[2]int{int(d.From), int(d.To)}] = true
+			st.succs[d.From] = append(st.succs[d.From], int(d.To))
+			st.preds[d.To] = append(st.preds[d.To], int(d.From))
+		}
+	}
+
+	cp := md.CriticalPath()
+	st.lstartStop = stopAnchor(cp, iiVal, st.contention)
+	st.recomputeBounds()
+	return st
+}
+
+// stopAnchor returns Lstart(Stop) for the given Estart(Stop): the
+// critical path itself when the loop has no resource contention (such a
+// loop can always meet its critical path), else rounded up to a multiple
+// of II — the "provision of extra slack" that lessens backtracking
+// (Section 4.2).
+func stopAnchor(estartStop, ii int, contention bool) int {
+	if !contention {
+		return estartStop
+	}
+	return (estartStop + ii - 1) / ii * ii
+}
+
+// dist returns MinDist between indices (ops or Stop).
+func (st *State) dist(x, y int) int {
+	xi, yi := x, y
+	if x == st.n {
+		xi = st.MD.Stop()
+	}
+	if y == st.n {
+		yi = st.MD.Stop()
+	}
+	return st.MD.Dist(xi, yi)
+}
+
+// recomputeBounds rebuilds Estart/Lstart for every unplaced index from
+// Start, the Lstart(Stop) anchor, and all placed indices — the O(p·u)
+// recomputation of Section 4.4 — then maintains the Stop anchor, which
+// may trigger a Stop ejection and another pass (Section 4.2).
+func (st *State) recomputeBounds() {
+	for {
+		for x := 0; x <= st.n; x++ {
+			if st.Placed(x) {
+				st.estart[x] = st.time[x]
+				st.lstart[x] = st.time[x]
+				continue
+			}
+			es := 0
+			if d := st.MD.Dist(st.MD.Start(), st.mdIndex(x)); d != mindist.NoPath {
+				es = d
+			}
+			ls := st.lstartStop
+			if d := st.dist(x, st.n); d != mindist.NoPath {
+				ls = st.lstartStop - d
+			}
+			for y := 0; y <= st.n; y++ {
+				if !st.Placed(y) || y == x {
+					continue
+				}
+				ty := st.time[y]
+				if d := st.dist(y, x); d != mindist.NoPath && ty+d > es {
+					es = ty + d
+				}
+				if d := st.dist(x, y); d != mindist.NoPath && ty-d < ls {
+					ls = ty - d
+				}
+			}
+			st.estart[x] = es
+			st.lstart[x] = ls
+		}
+		if !st.maintainStop() {
+			return
+		}
+	}
+}
+
+func (st *State) mdIndex(x int) int {
+	if x == st.n {
+		return st.MD.Stop()
+	}
+	return x
+}
+
+// maintainStop implements the Lstart(Stop) reset rule (Section 4.2):
+// once set, the anchor moves only when Estart(Stop) is pushed beyond it
+// or beyond Stop's current placement. Reports whether bounds must be
+// recomputed.
+func (st *State) maintainStop() bool {
+	stop := st.n
+	es := st.estart[stop]
+	if st.Placed(stop) {
+		es = 0
+		if d := st.MD.Dist(st.MD.Start(), st.MD.Stop()); d != mindist.NoPath {
+			es = d
+		}
+		for y := 0; y < st.n; y++ {
+			if !st.Placed(y) {
+				continue
+			}
+			if d := st.dist(y, stop); d != mindist.NoPath && st.time[y]+d > es {
+				es = st.time[y] + d
+			}
+		}
+		if es > st.time[stop] {
+			st.eject(stop)
+			st.lstartStop = stopAnchor(es, st.II, st.contention)
+			return true
+		}
+		return false
+	}
+	if es > st.lstartStop {
+		st.lstartStop = stopAnchor(es, st.II, st.contention)
+		return true
+	}
+	return false
+}
+
+// place commits index x at the given cycle.
+func (st *State) place(x, cycle int) {
+	if x < st.n {
+		st.mrt.Place(st.L.Ops[x], cycle)
+	}
+	st.time[x] = cycle
+	st.lastPlace[x] = cycle
+	st.unplacedCount--
+}
+
+// eject removes index x from the schedule and charges the budget.
+func (st *State) eject(x int) {
+	if x < st.n {
+		st.mrt.Eject(st.L.Ops[x])
+	}
+	st.time[x] = ir.Unplaced
+	st.unplacedCount++
+	st.ejections++
+}
+
+// allPlaced reports whether every op and Stop have been placed.
+func (st *State) allPlaced() bool { return st.unplacedCount == 0 }
+
+// free reports whether x can sit at cycle without resource conflicts.
+// Stop needs no resources.
+func (st *State) free(x, cycle int) bool {
+	if x == st.n {
+		return true
+	}
+	return st.mrt.Free(st.L.Ops[x], cycle)
+}
+
+// resourceVictims returns the placed ops occupying x's slots at cycle.
+func (st *State) resourceVictims(x, cycle int) []ir.OpID {
+	if x == st.n {
+		return nil
+	}
+	return st.mrt.Conflicts(st.L.Ops[x], cycle)
+}
+
+// depVictims returns the placed indices whose MinDist constraints against
+// x sitting at cycle are violated. MinDist reflects the transitive
+// closure of the successor relation, so this ejects beyond immediate
+// successors, which the paper found reduces overall backtracking
+// (Section 4.4).
+func (st *State) depVictims(x, cycle int) []int {
+	var out []int
+	for y := 0; y <= st.n; y++ {
+		if y == x || !st.Placed(y) {
+			continue
+		}
+		ty := st.time[y]
+		if d := st.dist(x, y); d != mindist.NoPath && cycle+d > ty {
+			out = append(out, y)
+			continue
+		}
+		if d := st.dist(y, x); d != mindist.NoPath && ty+d > cycle {
+			out = append(out, y)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package semantics defines the arithmetic meaning of every opcode, in
+// one place, so the sequential reference interpreter and the VLIW
+// simulator cannot drift apart: both call Eval for anything that is not
+// a memory access or branch.
+package semantics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Eval computes a pure (non-memory, non-branch) operation on scalar
+// arguments. Integer division and modulo by zero yield zero — the
+// hardware traps, but a total function keeps differential testing on
+// randomly generated loops well defined; floating division follows IEEE.
+func Eval(op machine.Opcode, args []ir.Scalar) (ir.Scalar, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("semantics: %v expects %d args, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	bin := func() (ir.Scalar, ir.Scalar, error) {
+		if err := need(2); err != nil {
+			return ir.Scalar{}, ir.Scalar{}, err
+		}
+		return args[0], args[1], nil
+	}
+	switch op {
+	case machine.AAdd, machine.IAdd:
+		a, b, err := bin()
+		return ir.IntS(a.I + b.I), err
+	case machine.ASub, machine.ISub:
+		a, b, err := bin()
+		return ir.IntS(a.I - b.I), err
+	case machine.AMul, machine.IMul:
+		a, b, err := bin()
+		return ir.IntS(a.I * b.I), err
+	case machine.IAnd:
+		a, b, err := bin()
+		return ir.IntS(a.I & b.I), err
+	case machine.IOr:
+		a, b, err := bin()
+		return ir.IntS(a.I | b.I), err
+	case machine.IXor:
+		a, b, err := bin()
+		return ir.IntS(a.I ^ b.I), err
+	case machine.IDiv:
+		a, b, err := bin()
+		if b.I == 0 {
+			return ir.IntS(0), err
+		}
+		return ir.IntS(a.I / b.I), err
+	case machine.IMod:
+		a, b, err := bin()
+		if b.I == 0 {
+			return ir.IntS(0), err
+		}
+		return ir.IntS(a.I % b.I), err
+
+	case machine.FAdd:
+		a, b, err := bin()
+		return ir.FloatS(a.F + b.F), err
+	case machine.FSub:
+		a, b, err := bin()
+		return ir.FloatS(a.F - b.F), err
+	case machine.FMul:
+		a, b, err := bin()
+		return ir.FloatS(a.F * b.F), err
+	case machine.FDiv:
+		a, b, err := bin()
+		return ir.FloatS(a.F / b.F), err
+	case machine.FSqrt:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return ir.FloatS(math.Sqrt(args[0].F)), nil
+	case machine.FNeg:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return ir.FloatS(-args[0].F), nil
+	case machine.FAbs:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return ir.FloatS(math.Abs(args[0].F)), nil
+	case machine.FMax:
+		a, b, err := bin()
+		return ir.FloatS(math.Max(a.F, b.F)), err
+	case machine.FMin:
+		a, b, err := bin()
+		return ir.FloatS(math.Min(a.F, b.F)), err
+
+	case machine.ICmpEQ:
+		a, b, err := bin()
+		return ir.PredS(a.I == b.I), err
+	case machine.ICmpNE:
+		a, b, err := bin()
+		return ir.PredS(a.I != b.I), err
+	case machine.ICmpLT:
+		a, b, err := bin()
+		return ir.PredS(a.I < b.I), err
+	case machine.ICmpLE:
+		a, b, err := bin()
+		return ir.PredS(a.I <= b.I), err
+	case machine.ICmpGT:
+		a, b, err := bin()
+		return ir.PredS(a.I > b.I), err
+	case machine.ICmpGE:
+		a, b, err := bin()
+		return ir.PredS(a.I >= b.I), err
+	case machine.FCmpEQ:
+		a, b, err := bin()
+		return ir.PredS(a.F == b.F), err
+	case machine.FCmpNE:
+		a, b, err := bin()
+		return ir.PredS(a.F != b.F), err
+	case machine.FCmpLT:
+		a, b, err := bin()
+		return ir.PredS(a.F < b.F), err
+	case machine.FCmpLE:
+		a, b, err := bin()
+		return ir.PredS(a.F <= b.F), err
+	case machine.FCmpGT:
+		a, b, err := bin()
+		return ir.PredS(a.F > b.F), err
+	case machine.FCmpGE:
+		a, b, err := bin()
+		return ir.PredS(a.F >= b.F), err
+
+	case machine.PNot:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return ir.PredS(!args[0].B), nil
+	case machine.PAnd:
+		a, b, err := bin()
+		return ir.PredS(a.B && b.B), err
+	case machine.POr:
+		a, b, err := bin()
+		return ir.PredS(a.B || b.B), err
+
+	case machine.Copy, machine.FCopy:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return args[0], nil
+
+	case machine.IToF:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return ir.FloatS(float64(args[0].I)), nil
+	case machine.FToI:
+		if err := need(1); err != nil {
+			return ir.Scalar{}, err
+		}
+		return ir.IntS(int64(args[0].F)), nil
+	}
+	return ir.Scalar{}, fmt.Errorf("semantics: %v is not a pure operation", op)
+}
+
+// Equal compares scalars for differential testing: integers and booleans
+// exactly, floats bit-for-bit except that two NaNs compare equal.
+func Equal(a, b ir.Scalar) bool {
+	if a.I != b.I || a.B != b.B {
+		return false
+	}
+	if math.IsNaN(a.F) && math.IsNaN(b.F) {
+		return true
+	}
+	return math.Float64bits(a.F) == math.Float64bits(b.F)
+}

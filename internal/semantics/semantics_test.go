@@ -1,0 +1,129 @@
+package semantics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestIntegerOps(t *testing.T) {
+	cases := []struct {
+		op   machine.Opcode
+		a, b int64
+		want int64
+	}{
+		{machine.IAdd, 3, 4, 7},
+		{machine.ISub, 3, 4, -1},
+		{machine.IMul, 3, 4, 12},
+		{machine.IDiv, 17, 5, 3},
+		{machine.IDiv, 17, 0, 0}, // total function: /0 → 0
+		{machine.IMod, 17, 5, 2},
+		{machine.IMod, 17, 0, 0},
+		{machine.IAnd, 0b1100, 0b1010, 0b1000},
+		{machine.IOr, 0b1100, 0b1010, 0b1110},
+		{machine.IXor, 0b1100, 0b1010, 0b0110},
+		{machine.AAdd, 100, 1, 101},
+		{machine.ASub, 100, 1, 99},
+		{machine.AMul, 7, 3, 21},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.op, []ir.Scalar{ir.IntS(c.a), ir.IntS(c.b)})
+		if err != nil || got.I != c.want {
+			t.Errorf("%v(%d,%d) = %v (%v), want %d", c.op, c.a, c.b, got.I, err, c.want)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	bin := func(op machine.Opcode, a, b, want float64) {
+		t.Helper()
+		got, err := Eval(op, []ir.Scalar{ir.FloatS(a), ir.FloatS(b)})
+		if err != nil || got.F != want {
+			t.Errorf("%v(%v,%v) = %v (%v), want %v", op, a, b, got.F, err, want)
+		}
+	}
+	bin(machine.FAdd, 1.5, 2.25, 3.75)
+	bin(machine.FSub, 1.5, 2.25, -0.75)
+	bin(machine.FMul, 1.5, 2.0, 3.0)
+	bin(machine.FDiv, 3.0, 2.0, 1.5)
+	bin(machine.FMax, 1.0, 2.0, 2.0)
+	bin(machine.FMin, 1.0, 2.0, 1.0)
+
+	un := func(op machine.Opcode, a, want float64) {
+		t.Helper()
+		got, err := Eval(op, []ir.Scalar{ir.FloatS(a)})
+		if err != nil || got.F != want {
+			t.Errorf("%v(%v) = %v (%v), want %v", op, a, got.F, err, want)
+		}
+	}
+	un(machine.FSqrt, 9.0, 3.0)
+	un(machine.FNeg, 2.5, -2.5)
+	un(machine.FAbs, -2.5, 2.5)
+
+	if got, _ := Eval(machine.FDiv, []ir.Scalar{ir.FloatS(1), ir.FloatS(0)}); !math.IsInf(got.F, 1) {
+		t.Errorf("1/0 should be +Inf (IEEE), got %v", got.F)
+	}
+}
+
+func TestCompares(t *testing.T) {
+	cases := []struct {
+		op   machine.Opcode
+		args []ir.Scalar
+		want bool
+	}{
+		{machine.ICmpEQ, []ir.Scalar{ir.IntS(2), ir.IntS(2)}, true},
+		{machine.ICmpNE, []ir.Scalar{ir.IntS(2), ir.IntS(2)}, false},
+		{machine.ICmpLT, []ir.Scalar{ir.IntS(1), ir.IntS(2)}, true},
+		{machine.ICmpLE, []ir.Scalar{ir.IntS(2), ir.IntS(2)}, true},
+		{machine.ICmpGT, []ir.Scalar{ir.IntS(1), ir.IntS(2)}, false},
+		{machine.ICmpGE, []ir.Scalar{ir.IntS(2), ir.IntS(2)}, true},
+		{machine.FCmpLT, []ir.Scalar{ir.FloatS(1.5), ir.FloatS(2)}, true},
+		{machine.FCmpGE, []ir.Scalar{ir.FloatS(1.5), ir.FloatS(2)}, false},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.op, c.args)
+		if err != nil || got.B != c.want {
+			t.Errorf("%v(%v) = %v (%v), want %v", c.op, c.args, got.B, err, c.want)
+		}
+	}
+}
+
+func TestPredicateOps(t *testing.T) {
+	if got, _ := Eval(machine.PNot, []ir.Scalar{ir.PredS(true)}); got.B {
+		t.Error("PNot(true) should be false")
+	}
+	if got, _ := Eval(machine.PAnd, []ir.Scalar{ir.PredS(true), ir.PredS(false)}); got.B {
+		t.Error("PAnd(true,false) should be false")
+	}
+	if got, _ := Eval(machine.Copy, []ir.Scalar{ir.IntS(9)}); got.I != 9 {
+		t.Error("Copy should be identity")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Eval(machine.Load, nil); err == nil {
+		t.Error("Load is not a pure op")
+	}
+	if _, err := Eval(machine.IAdd, []ir.Scalar{ir.IntS(1)}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestEqualNaN(t *testing.T) {
+	nan := ir.FloatS(math.NaN())
+	if !Equal(nan, ir.FloatS(math.NaN())) {
+		t.Error("NaN must equal NaN for differential testing")
+	}
+	if Equal(ir.FloatS(1), ir.FloatS(2)) {
+		t.Error("distinct floats must differ")
+	}
+	if Equal(ir.IntS(1), ir.IntS(2)) {
+		t.Error("distinct ints must differ")
+	}
+	negZero := ir.FloatS(math.Copysign(0, -1))
+	if Equal(negZero, ir.FloatS(0)) {
+		t.Error("-0 and +0 differ bitwise; Equal is bit-exact")
+	}
+}

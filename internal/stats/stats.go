@@ -1,0 +1,140 @@
+// Package stats provides the small statistical and formatting toolkit
+// the benchmark harness uses to print tables in the paper's shape:
+// min / 50% / 90% / max rows (Tables 2-4) and cumulative "percent of all
+// loops within N registers" series (Figures 5-8).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quantiles reports min, median, 90th percentile, and max — the columns
+// the paper's tables use.
+type Quantiles struct {
+	Min, P50, P90, Max int
+}
+
+// Quants computes the paper's quantile columns. Percentiles use the
+// nearest-rank method on the sorted data. Empty input yields zeros.
+func Quants(xs []int) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	rank := func(p float64) int {
+		i := int(p*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Quantiles{Min: s[0], P50: rank(0.50), P90: rank(0.90), Max: s[len(s)-1]}
+}
+
+func (q Quantiles) String() string {
+	return fmt.Sprintf("%6d %6d %6d %6d", q.Min, q.P50, q.P90, q.Max)
+}
+
+// CumulativePct returns, for each threshold, the percentage of xs that
+// are ≤ the threshold — the reading of the paper's cumulative figures.
+func CumulativePct(xs []int, thresholds []int) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(xs) == 0 {
+		return out
+	}
+	for i, th := range thresholds {
+		n := 0
+		for _, x := range xs {
+			if x <= th {
+				n++
+			}
+		}
+		out[i] = 100 * float64(n) / float64(len(xs))
+	}
+	return out
+}
+
+// PctAt returns the percentage of xs equal to or below the threshold.
+func PctAt(xs []int, th int) float64 {
+	return CumulativePct(xs, []int{th})[0]
+}
+
+// Histogram renders an ASCII cumulative-distribution table of values at
+// the given thresholds, one series per named column.
+func Histogram(title string, thresholds []int, series map[string][]int, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s", "≤ regs")
+	for _, name := range order {
+		fmt.Fprintf(&b, " %14s", name)
+	}
+	b.WriteByte('\n')
+	for _, th := range thresholds {
+		fmt.Fprintf(&b, "%-10d", th)
+		for _, name := range order {
+			fmt.Fprintf(&b, " %13.1f%%", PctAt(series[name], th))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a minimal fixed-width text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range t.header {
+		fmt.Fprintf(&b, "%-*s  ", width[i], h)
+	}
+	b.WriteByte('\n')
+	for i := range t.header {
+		b.WriteString(strings.Repeat("-", width[i]) + "  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantsKnown(t *testing.T) {
+	q := Quants([]int{5, 1, 9, 3, 7})
+	if q.Min != 1 || q.Max != 9 {
+		t.Errorf("min/max: %+v", q)
+	}
+	if q.P50 != 5 {
+		t.Errorf("P50 = %d, want 5", q.P50)
+	}
+	if q.P90 != 9 {
+		t.Errorf("P90 = %d, want 9 (nearest rank of 5 values)", q.P90)
+	}
+}
+
+func TestQuantsEmptyAndSingle(t *testing.T) {
+	if q := Quants(nil); q != (Quantiles{}) {
+		t.Errorf("empty: %+v", q)
+	}
+	if q := Quants([]int{42}); q.Min != 42 || q.P50 != 42 || q.P90 != 42 || q.Max != 42 {
+		t.Errorf("single: %+v", q)
+	}
+}
+
+// Property: quantiles are ordered and drawn from the data.
+func TestQuantsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(1000) - 500
+		}
+		q := Quants(xs)
+		if !(q.Min <= q.P50 && q.P50 <= q.P90 && q.P90 <= q.Max) {
+			return false
+		}
+		s := append([]int(nil), xs...)
+		sort.Ints(s)
+		member := func(v int) bool {
+			i := sort.SearchInts(s, v)
+			return i < len(s) && s[i] == v
+		}
+		return member(q.Min) && member(q.P50) && member(q.P90) && member(q.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumulativePct(t *testing.T) {
+	xs := []int{1, 2, 2, 3, 10}
+	got := CumulativePct(xs, []int{0, 2, 9, 10})
+	want := []float64{0, 60, 80, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("threshold %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if PctAt(nil, 5) != 0 {
+		t.Error("empty series should be 0%")
+	}
+}
+
+func TestHistogramAndTableRender(t *testing.T) {
+	h := Histogram("title", []int{1, 2}, map[string][]int{"a": {1, 2}, "b": {2, 2}}, []string{"a", "b"})
+	for _, want := range []string{"title", "50.0%", "100.0%"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("histogram missing %q:\n%s", want, h)
+		}
+	}
+	tb := NewTable("X", "Y")
+	tb.Row("hello", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "hello") || !strings.Contains(out, "3.14") {
+		t.Errorf("table render:\n%s", out)
+	}
+	if !strings.Contains(out, "X") || !strings.Contains(out, "--") {
+		t.Errorf("table header/rule:\n%s", out)
+	}
+}

@@ -1,0 +1,169 @@
+// Package viz renders schedules as ASCII diagrams: the modulo
+// reservation table (who holds which functional unit at each cycle mod
+// II), a Gantt chart of one iteration, and per-value lifetime timelines
+// in the style of the paper's Figure 3.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/machine"
+)
+
+// MRT renders the modulo reservation table of a schedule: one row per
+// functional-unit instance, one column per cycle of the II, each cell
+// holding the op id reserving that slot (multi-cycle divider patterns
+// show as repeated ids).
+func MRT(l *ir.Loop, s *ir.Schedule) string {
+	type slot struct {
+		kind machine.FUKind
+		fu   int
+	}
+	rows := map[slot][]string{}
+	var order []slot
+	for k := 0; k < machine.NumFUKinds; k++ {
+		kind := machine.FUKind(k)
+		for fu := 0; fu < l.Mach.Count(kind); fu++ {
+			sl := slot{kind, fu}
+			order = append(order, sl)
+			cells := make([]string, s.II)
+			for i := range cells {
+				cells[i] = "."
+			}
+			rows[sl] = cells
+		}
+	}
+	for _, op := range l.Ops {
+		info := l.Mach.Info(op.Opcode)
+		sl := slot{info.Kind, op.FU}
+		for i := 0; i < info.Busy; i++ {
+			c := (s.Time[op.ID] + i) % s.II
+			rows[sl][c] = fmt.Sprintf("%d", int(op.ID))
+		}
+	}
+	width := 2
+	for _, cells := range rows {
+		for _, c := range cells {
+			if len(c) > width {
+				width = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "modulo reservation table (II=%d; cells are op ids)\n", s.II)
+	fmt.Fprintf(&b, "%-14s", "")
+	for c := 0; c < s.II; c++ {
+		fmt.Fprintf(&b, " %*d", width, c)
+	}
+	b.WriteByte('\n')
+	for _, sl := range order {
+		used := false
+		for _, c := range rows[sl] {
+			if c != "." {
+				used = true
+			}
+		}
+		if !used {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s", fmt.Sprintf("%v.%d", sl.kind, sl.fu))
+		for _, c := range rows[sl] {
+			fmt.Fprintf(&b, " %*s", width, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Gantt renders one iteration's schedule: ops sorted by issue cycle,
+// with a bar spanning issue..issue+latency and the stage boundary grid.
+func Gantt(l *ir.Loop, s *ir.Schedule) string {
+	length := s.Makespan(l)
+	type row struct {
+		id   ir.OpID
+		t    int
+		lat  int
+		text string
+	}
+	var rows []row
+	for _, op := range l.Ops {
+		rows = append(rows, row{
+			id: op.ID, t: s.Time[op.ID], lat: l.Mach.Latency(op.Opcode),
+			text: fmt.Sprintf("op%-3d %v", int(op.ID), op.Opcode),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].t != rows[j].t {
+			return rows[i].t < rows[j].t
+		}
+		return rows[i].id < rows[j].id
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "iteration schedule (II=%d, length %d; '=' issue..result, '|' stage boundary)\n", s.II, length)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s ", r.text)
+		for c := 0; c < length; c++ {
+			switch {
+			case c >= r.t && c < r.t+r.lat:
+				b.WriteByte('=')
+			case c%s.II == 0:
+				b.WriteByte('|')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Lifetimes renders the RR-file value lifetimes of one iteration — the
+// picture of the paper's Figure 3 — with the LiveVector underneath.
+func Lifetimes(l *ir.Loop, s *ir.Schedule) string {
+	ranges := lifetime.Ranges(l, s, ir.RR)
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].Start != ranges[j].Start {
+			return ranges[i].Start < ranges[j].Start
+		}
+		return ranges[i].Val < ranges[j].Val
+	})
+	end := 0
+	for _, r := range ranges {
+		if r.End > end {
+			end = r.End
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "value lifetimes (one iteration; wraps every II=%d)\n", s.II)
+	for _, r := range ranges {
+		fmt.Fprintf(&b, "  %-10s [%3d,%3d) ", l.Value(r.Val).Name, r.Start, r.End)
+		for c := 0; c < end; c++ {
+			switch {
+			case c >= r.Start && c < r.End:
+				b.WriteByte('#')
+			case c%s.II == 0:
+				b.WriteByte('|')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	vec := lifetime.LiveVector(ranges, s.II)
+	fmt.Fprintf(&b, "  LiveVector %v  → MaxLive %d\n", vec, maxOf(vec))
+	return b.String()
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

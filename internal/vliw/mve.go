@@ -1,0 +1,184 @@
+package vliw
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/semantics"
+)
+
+// RunMVE executes a modulo-variable-expanded kernel on a conventional
+// (non-rotating) register file: each value owns its k_v static slots and
+// kernel pass p runs unroll copy p mod U. Semantics, latencies, the
+// structural-hazard watchdog, and the paranoid instance-tag checking
+// mirror Run, so RunMVE and Run are mutually differential oracles on top
+// of the interpreter.
+func RunMVE(k *codegen.MVEKernel, env *rt.Env, trips int, cfg Config) (*rt.Result, error) {
+	if trips < 0 {
+		return nil, fmt.Errorf("vliw: negative trip count")
+	}
+	mem := make(ir.Memory, len(env.Mem))
+	copy(mem, env.Mem)
+
+	type slotKey struct {
+		val  ir.ValueID
+		slot int
+	}
+	regs := map[slotKey]cell{}
+
+	passes := trips + k.Stages - 1
+	if trips == 0 {
+		passes = 0
+	}
+	maxLat := 0
+	for _, op := range k.Loop.Ops {
+		if lat := k.Loop.Mach.Latency(op.Opcode); lat > maxLat {
+			maxLat = lat
+		}
+	}
+	horizon := passes*k.II + maxLat + 1
+
+	type pending struct {
+		key  slotKey
+		val  ir.Scalar
+		tagI int
+	}
+	regQ := map[int][]pending{}
+	memQ := map[int][]pendingMem{}
+	type fu struct {
+		kind machine.FUKind
+		inst int
+	}
+	busyUntil := map[fu]int{}
+
+	res := &rt.Result{LiveOut: map[ir.ValueID]ir.Scalar{}}
+
+	read := func(vid ir.ValueID, slot, omega, iter int) (ir.Scalar, error) {
+		v := k.Loop.Value(vid)
+		if v.File == ir.GPR {
+			if v.ConstValid {
+				return v.Const, nil
+			}
+			sc, ok := env.GPR[vid]
+			if !ok {
+				return ir.Scalar{}, fmt.Errorf("vliw: no live-in for invariant %s", v.Name)
+			}
+			return sc, nil
+		}
+		want := iter - omega
+		if want < 0 {
+			return env.Init[rt.InstKey{Val: vid, Iter: want}], nil
+		}
+		c := regs[slotKey{vid, slot}]
+		if cfg.Paranoid {
+			if !c.filled {
+				return ir.Scalar{}, fmt.Errorf("vliw: MVE read of never-written %s slot %d (want iter %d)", v.Name, slot, want)
+			}
+			if c.tagIt != want {
+				return ir.Scalar{}, fmt.Errorf("vliw: MVE stale read: %s slot %d holds iter %d, want %d", v.Name, slot, c.tagIt, want)
+			}
+		}
+		return c.val, nil
+	}
+
+	for cyc := 0; cyc < horizon; cyc++ {
+		for _, w := range regQ[cyc] {
+			regs[w.key] = cell{val: w.val, tagVal: w.key.val, tagIt: w.tagI, filled: true}
+		}
+		delete(regQ, cyc)
+		for _, w := range memQ[cyc] {
+			if err := mem.Store(w.addr, w.val); err != nil {
+				return nil, fmt.Errorf("vliw: cycle %d: %w", cyc, err)
+			}
+		}
+		delete(memQ, cyc)
+
+		if cyc >= passes*k.II {
+			continue
+		}
+		pass := cyc / k.II
+		phi := cyc % k.II
+		copyU := pass % k.Unroll
+		for _, in := range k.Words[copyU][phi] {
+			iter := pass - in.Stage
+			if iter < 0 || iter >= trips {
+				continue
+			}
+			if in.Op.Opcode == machine.BrTop {
+				continue
+			}
+			info := k.Loop.Mach.Info(in.Op.Opcode)
+			unit := fu{info.Kind, in.Op.FU}
+			if until, ok := busyUntil[unit]; ok && cyc < until {
+				return nil, fmt.Errorf("vliw: MVE structural hazard: %v.%d at cycle %d", info.Kind, in.Op.FU, cyc)
+			}
+			busyUntil[unit] = cyc + info.Busy
+
+			if in.Pred >= 0 {
+				p, err := read(in.Op.Pred.Val, in.Pred, in.Op.Pred.Omega, iter)
+				if err != nil {
+					return nil, err
+				}
+				if p.B == in.Op.PredNeg {
+					continue
+				}
+			}
+			res.Executed++
+
+			args := make([]ir.Scalar, len(in.Srcs))
+			for j := range in.Srcs {
+				a := in.Op.Args[j]
+				v, err := read(a.Val, in.Srcs[j], a.Omega, iter)
+				if err != nil {
+					return nil, fmt.Errorf("vliw: cycle %d op%d: %w", cyc, in.Op.ID, err)
+				}
+				args[j] = v
+			}
+
+			write := func(v ir.Scalar) {
+				at := cyc + info.Latency
+				regQ[at] = append(regQ[at], pending{
+					key: slotKey{in.Op.Result, in.Dst}, val: v, tagI: iter,
+				})
+			}
+			switch in.Op.Opcode {
+			case machine.Load:
+				v, err := mem.Load(args[0].I)
+				if err != nil {
+					return nil, fmt.Errorf("vliw: cycle %d op%d: %w", cyc, in.Op.ID, err)
+				}
+				write(v)
+			case machine.Store:
+				memQ[cyc+info.Latency] = append(memQ[cyc+info.Latency], pendingMem{addr: args[0].I, val: args[1]})
+			default:
+				v, err := semantics.Eval(in.Op.Opcode, args)
+				if err != nil {
+					return nil, err
+				}
+				if in.Dst >= 0 {
+					write(v)
+				}
+			}
+		}
+	}
+
+	res.Mem = mem
+	for _, v := range k.Loop.Values {
+		if !v.LiveOut || !v.IsVariant() || trips == 0 {
+			continue
+		}
+		kv := k.Slots[v.ID]
+		if kv == 0 {
+			kv = 1
+		}
+		c := regs[slotKey{v.ID, mod((trips - 1), kv)}]
+		if cfg.Paranoid && (!c.filled || c.tagIt != trips-1) {
+			return nil, fmt.Errorf("vliw: MVE live-out %s: slot holds iter %d, want %d", v.Name, c.tagIt, trips-1)
+		}
+		res.LiveOut[v.ID] = c.val
+	}
+	return res, nil
+}

@@ -1,0 +1,274 @@
+// Package vliw is a cycle-accurate simulator for kernels produced by the
+// code generator, modelling the paper's target machine (Section 2): VLIW
+// issue, exact functional-unit latencies, the non-pipelined divider's
+// reservation pattern, predicated execution, and rotating register files
+// whose iteration control pointer decrements once per kernel pass.
+//
+// The simulator is the strongest validator in this repository: a
+// schedule, allocation, or specifier bug shows up as a stale register
+// read (caught immediately in paranoid mode, which is the default in
+// tests) or as a memory/live-out mismatch against the sequential
+// reference interpreter.
+//
+// Iteration control is idealized: instead of simulating brtop's counter
+// arithmetic, the simulator turns the stage-σ predicate of kernel pass k
+// on exactly when 0 ≤ k−σ < trips — precisely the predicate sequence
+// brtop generates on the Cydra 5 (Section 2.3). Reads of instances from
+// before iteration 0 are served from the environment's preheader state,
+// standing in for the preheader's register initialization.
+package vliw
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/semantics"
+)
+
+// Config tunes the simulation.
+type Config struct {
+	// Paranoid makes every rotating-register read verify that the
+	// register holds exactly the value instance the dataflow expects;
+	// a stale read (latency or allocation bug) fails fast. Default on
+	// in all tests; turning it off simulates what the hardware would
+	// actually do.
+	Paranoid bool
+	// MaxCycles caps the simulation; 0 derives a bound from the run.
+	MaxCycles int
+}
+
+type cell struct {
+	val    ir.Scalar
+	tagVal ir.ValueID
+	tagIt  int
+	filled bool
+}
+
+type pendingReg struct {
+	file ir.RegFile
+	phys int
+	val  ir.Scalar
+	tagV ir.ValueID
+	tagI int
+}
+
+type pendingMem struct {
+	addr int64
+	val  ir.Scalar
+}
+
+// Run executes trips iterations of the kernel and returns the outcome in
+// the interpreter's result format for direct comparison.
+func Run(k *codegen.Kernel, env *rt.Env, trips int, cfg Config) (*rt.Result, error) {
+	if trips < 0 {
+		return nil, fmt.Errorf("vliw: negative trip count")
+	}
+	mem := make(ir.Memory, len(env.Mem))
+	copy(mem, env.Mem)
+
+	rr := make([]cell, max(k.NRR, 1))
+	icr := make([]cell, max(k.NICR, 1))
+	fileOf := func(f ir.RegFile) []cell {
+		if f == ir.ICR {
+			return icr
+		}
+		return rr
+	}
+
+	passes := trips + k.Stages - 1
+	if trips == 0 {
+		passes = 0
+	}
+	maxLat := 0
+	for _, op := range k.Loop.Ops {
+		if lat := k.Loop.Mach.Latency(op.Opcode); lat > maxLat {
+			maxLat = lat
+		}
+	}
+	horizon := passes*k.II + maxLat + 1
+	if cfg.MaxCycles > 0 && horizon > cfg.MaxCycles {
+		return nil, fmt.Errorf("vliw: run needs %d cycles, cap is %d", horizon, cfg.MaxCycles)
+	}
+
+	regQ := make(map[int][]pendingReg)
+	memQ := make(map[int][]pendingMem)
+	// Structural-hazard watchdog: per functional-unit instance, the
+	// cycle it frees up. A legal schedule never trips this.
+	type fu struct {
+		kind machine.FUKind
+		inst int
+	}
+	busyUntil := map[fu]int{}
+
+	res := &rt.Result{LiveOut: map[ir.ValueID]ir.Scalar{}}
+
+	read := func(s codegen.Spec, stage, pass int) (ir.Scalar, error) {
+		v := k.Loop.Value(s.Val)
+		if s.File == ir.GPR {
+			if v.ConstValid {
+				return v.Const, nil
+			}
+			sc, ok := env.GPR[s.Val]
+			if !ok {
+				return ir.Scalar{}, fmt.Errorf("vliw: no live-in for invariant %s", v.Name)
+			}
+			return sc, nil
+		}
+		iter := pass - stage
+		want := iter - s.Omega
+		if want < 0 {
+			// Preheader instance: served from the environment, standing
+			// in for preheader register initialization.
+			return env.Init[rt.InstKey{Val: s.Val, Iter: want}], nil
+		}
+		file := fileOf(s.File)
+		phys := mod(s.Off-pass, len(file))
+		c := file[phys]
+		if cfg.Paranoid {
+			if !c.filled {
+				return ir.Scalar{}, fmt.Errorf("vliw: read of never-written %v register %d (value %s, want iter %d)", s.File, phys, v.Name, want)
+			}
+			if c.tagVal != s.Val || c.tagIt != want {
+				return ir.Scalar{}, fmt.Errorf("vliw: stale read: %v[%d] holds value %d iter %d, want value %d iter %d",
+					s.File, phys, c.tagVal, c.tagIt, s.Val, want)
+			}
+		}
+		return c.val, nil
+	}
+
+	for cyc := 0; cyc < horizon; cyc++ {
+		// Writebacks first: results and stores become visible at the
+		// start of the cycle they complete in.
+		for _, w := range regQ[cyc] {
+			f := fileOf(w.file)
+			f[w.phys] = cell{val: w.val, tagVal: w.tagV, tagIt: w.tagI, filled: true}
+		}
+		delete(regQ, cyc)
+		for _, w := range memQ[cyc] {
+			if err := mem.Store(w.addr, w.val); err != nil {
+				return nil, fmt.Errorf("vliw: cycle %d: %w", cyc, err)
+			}
+		}
+		delete(memQ, cyc)
+
+		if cyc >= passes*k.II {
+			continue
+		}
+		pass := cyc / k.II
+		phi := cyc % k.II
+		for _, in := range k.Words[phi] {
+			iter := pass - in.Stage
+			if iter < 0 || iter >= trips {
+				continue // stage predicate off
+			}
+			if in.Op.Opcode == machine.BrTop {
+				continue // iteration control is idealized
+			}
+			info := k.Loop.Mach.Info(in.Op.Opcode)
+			unit := fu{info.Kind, in.Op.FU}
+			if until, ok := busyUntil[unit]; ok && cyc < until {
+				return nil, fmt.Errorf("vliw: structural hazard: %v.%d busy at cycle %d (op%d)",
+					info.Kind, in.Op.FU, cyc, in.Op.ID)
+			}
+			busyUntil[unit] = cyc + info.Busy
+
+			if in.Pred != nil {
+				p, err := read(*in.Pred, in.Stage, pass)
+				if err != nil {
+					return nil, err
+				}
+				if p.B == in.Op.PredNeg {
+					continue // squashed to a no-op
+				}
+			}
+			res.Executed++
+
+			args := make([]ir.Scalar, len(in.Srcs))
+			for j, s := range in.Srcs {
+				a, err := read(s, in.Stage, pass)
+				if err != nil {
+					return nil, fmt.Errorf("vliw: cycle %d op%d: %w", cyc, in.Op.ID, err)
+				}
+				args[j] = a
+			}
+
+			switch in.Op.Opcode {
+			case machine.Load:
+				v, err := mem.Load(args[0].I)
+				if err != nil {
+					return nil, fmt.Errorf("vliw: cycle %d op%d: %w", cyc, in.Op.ID, err)
+				}
+				scheduleWrite(regQ, cyc+info.Latency, in, iter, v, k)
+			case machine.Store:
+				memQ[cyc+info.Latency] = append(memQ[cyc+info.Latency], pendingMem{addr: args[0].I, val: args[1]})
+			default:
+				v, err := semantics.Eval(in.Op.Opcode, args)
+				if err != nil {
+					return nil, err
+				}
+				if in.Dst != nil {
+					scheduleWrite(regQ, cyc+info.Latency, in, iter, v, k)
+				}
+			}
+		}
+	}
+
+	res.Mem = mem
+	for _, v := range k.Loop.Values {
+		if !v.LiveOut || !v.IsVariant() || trips == 0 {
+			continue
+		}
+		alloc := &k.RR
+		file := rr
+		if v.File == ir.ICR {
+			alloc = &k.ICR
+			file = icr
+		}
+		off, ok := alloc.Offset[v.ID]
+		if !ok {
+			return nil, fmt.Errorf("vliw: live-out %s has no allocation", v.Name)
+		}
+		phys := mod(off-(trips-1), len(file))
+		c := file[phys]
+		if cfg.Paranoid && (!c.filled || c.tagVal != v.ID || c.tagIt != trips-1) {
+			return nil, fmt.Errorf("vliw: live-out %s: register %d holds value %d iter %d, want iter %d",
+				v.Name, phys, c.tagVal, c.tagIt, trips-1)
+		}
+		res.LiveOut[v.ID] = c.val
+	}
+	return res, nil
+}
+
+func scheduleWrite(q map[int][]pendingReg, at int, in *codegen.Inst, iter int, v ir.Scalar, k *codegen.Kernel) {
+	n := k.NRR
+	if in.Dst.File == ir.ICR {
+		n = k.NICR
+	}
+	// Destination address resolved at issue time: spec − pass, with
+	// pass = iter + stage.
+	phys := mod(in.Dst.Off-(iter+in.Stage), max(n, 1))
+	q[at] = append(q[at], pendingReg{
+		file: in.Dst.File, phys: phys, val: v, tagV: in.Dst.Val, tagI: iter,
+	})
+}
+
+func mod(a, m int) int {
+	if m <= 0 {
+		return 0
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,10 @@
+c Complex vector multiply (split arrays).
+      subroutine cmplxmul(n, ar, ai, br, bi, cr, ci)
+      real ar(1001), ai(1001), br(1001), bi(1001)
+      real cr(1001), ci(1001)
+      integer n, i
+      do i = 1, n
+        cr(i) = ar(i)*br(i) - ai(i)*bi(i)
+        ci(i) = ar(i)*bi(i) + ai(i)*br(i)
+      end do
+      end

@@ -1,0 +1,8 @@
+c BLAS daxpy: y = y + a*x.
+      subroutine daxpy(n, a, x, y)
+      real x(1001), y(1001), a
+      integer n, i
+      do i = 1, n
+        y(i) = y(i) + a*x(i)
+      end do
+      end

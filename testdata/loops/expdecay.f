@@ -1,0 +1,9 @@
+c Exponential-decay state update stored per sample.
+      subroutine expdecay(n, alpha, s, x, y)
+      real x(1001), y(1001), alpha, s
+      integer n, i
+      do i = 1, n
+        s = alpha*s + (1.0 - alpha)*x(i)
+        y(i) = s
+      end do
+      end

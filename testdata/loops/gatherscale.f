@@ -1,0 +1,8 @@
+c Indirect gather with scaling: conservative memory dependences.
+      subroutine gatherscale(n, q, ind, a, b)
+      integer n, i, ind(1001)
+      real a(1001), b(1001), q
+      do i = 1, n
+        b(i) = q*a(ind(i))
+      end do
+      end

@@ -1,0 +1,10 @@
+c Livermore kernel 2 (fragment): ICCG excerpt with stride-2 access,
+c expressed over the flattened vector.
+      subroutine lll02(ipntp, ipnt, ii2, x, v)
+      real x(2048), v(2048)
+      integer ipntp, ipnt, ii2, i, k
+      do i = ipnt+2, ipntp, 2
+        k = i - ipnt
+        x(ipntp+k/2) = x(i) - v(i)*x(i-1) - v(i+1)*x(i+1)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Livermore kernel 3: inner product.
+      subroutine lll03(n, q, x, z)
+      real x(1001), z(1001), q
+      integer n, k
+      do k = 1, n
+        q = q + z(k)*x(k)
+      end do
+      end

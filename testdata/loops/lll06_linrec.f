@@ -1,0 +1,9 @@
+c Livermore kernel 6 (inner fragment): general linear recurrence with a
+c fixed back distance.
+      subroutine lll06(n, w, b)
+      real w(1024), b(1024)
+      integer n, i
+      do i = 2, n
+        w(i) = w(i) + b(i)*w(i-1)
+      end do
+      end

@@ -1,0 +1,11 @@
+c Livermore kernel 7: equation of state fragment.
+      subroutine lll07(n, q, r, t, x, y, z, u)
+      real x(1001), y(1001), z(1001), u(1021)
+      real q, r, t
+      integer n, k
+      do k = 1, n
+        x(k) = u(k) + r*(z(k) + r*y(k)) + &
+               t*(u(k+3) + r*(u(k+2) + r*u(k+1)) + &
+               t*(u(k+6) + q*(u(k+5) + q*u(k+4))))
+      end do
+      end

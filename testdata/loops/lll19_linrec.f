@@ -1,0 +1,9 @@
+c Livermore kernel 19: general linear recurrence equations (forward).
+      subroutine lll19(n, stb5, sa, sb, b5)
+      real sa(1001), sb(1001), b5(1001), stb5
+      integer n, k
+      do k = 1, n
+        b5(k) = sa(k) + stb5*sb(k)
+        stb5 = b5(k) - stb5
+      end do
+      end

@@ -1,0 +1,10 @@
+c Livermore kernel 22: Planckian distribution (exp replaced by a
+c sqrt-based surrogate with the same operation mix: divide-heavy).
+      subroutine lll22(n, u, v, w, x, y)
+      real u(1001), v(1001), w(1001), x(1001), y(1001)
+      integer n, k
+      do k = 1, n
+        y(k) = u(k)/v(k)
+        w(k) = x(k)/(sqrt(y(k)) + 1.0)
+      end do
+      end

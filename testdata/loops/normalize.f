@@ -1,0 +1,8 @@
+c Per-element normalization: one divide per iteration.
+      subroutine normalize(n, x, y, z)
+      real x(1001), y(1001), z(1001)
+      integer n, i
+      do i = 1, n
+        z(i) = x(i)/sqrt(y(i))
+      end do
+      end

@@ -1,0 +1,8 @@
+c Three-point smoothing with store-to-load feedback.
+      subroutine smooth3(n, a, b)
+      real a(1002), b(1002)
+      integer n, i
+      do i = 2, n
+        b(i) = 0.25*b(i-1) + 0.5*a(i) + 0.25*a(i+1)
+      end do
+      end

@@ -1,0 +1,8 @@
+c BLAS sscal: x = a*x.
+      subroutine sscal(n, a, x)
+      real x(1024), a
+      integer n, i
+      do i = 1, n
+        x(i) = a*x(i)
+      end do
+      end

@@ -1,0 +1,8 @@
+c Sum of squares (snrm2 without the final sqrt).
+      subroutine ssum2(n, acc, x)
+      real x(1024), acc
+      integer n, i
+      do i = 1, n
+        acc = acc + x(i)*x(i)
+      end do
+      end

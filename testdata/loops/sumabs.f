@@ -1,0 +1,12 @@
+c Sum of absolute values with a conditional accumulator pair.
+      subroutine sumabs(n, sp, sn, x)
+      real x(1001), sp, sn
+      integer n, i
+      do i = 1, n
+        if (x(i) .ge. 0.0) then
+          sp = sp + x(i)
+        else
+          sn = sn - x(i)
+        end if
+      end do
+      end
