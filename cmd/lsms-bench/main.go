@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	lsms-bench [-size 1525] [-seed 1993] [-exp all]
+//	lsms-bench [-size 1525] [-seed 1993] [-exp all] [-parallel N]
+//	           [-benchjson BENCH_sched.json]
 //
 // Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
-// headline ablation regalloc iistep expansion predshare straightline latencies all
+// headline ablation regalloc iistep expansion predshare straightline
+// latencies perf all
 package main
 
 import (
@@ -19,12 +21,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
+	"repro/internal/sched"
 )
 
 func main() {
 	size := flag.Int("size", 1525, "number of workload loops (paper: 1,525)")
 	seed := flag.Int64("seed", 1993, "workload generator seed")
 	exp := flag.String("exp", "all", "comma-separated experiment ids")
+	par := flag.Int("parallel", 0, "worker pool for the scheduling sweep (0 = GOMAXPROCS, 1 = sequential)")
+	benchjson := flag.String("benchjson", "", "write the perf experiment's JSON record here (implies -exp perf)")
+	noFast := flag.Bool("nofastpaths", false, "disable parametric MinDist reuse and incremental bounds (perf attribution baseline)")
 	flag.Parse()
 
 	wants := map[string]bool{}
@@ -40,6 +46,12 @@ func main() {
 			s, err = bench.NewSuite(loopgen.Options{Size: *size, Seed: *seed})
 			if err != nil {
 				fatalf("building workload: %v", err)
+			}
+			s.Parallel = *par
+			if *noFast {
+				for _, n := range core.Schedulers() {
+					s.Configure(n, sched.Config{NoFastPaths: true})
+				}
 			}
 			fmt.Printf("workload: %d loops (seed %d) on machine %q\n\n", s.Size(), *seed, s.Mach.Name)
 		}
@@ -138,6 +150,15 @@ func main() {
 		rows, err := bench.Latencies(n, *seed)
 		check(err)
 		fmt.Println(bench.RenderLatencies(rows))
+	}
+	if want("perf") || *benchjson != "" {
+		r, err := bench.Perf(suite())
+		check(err)
+		fmt.Println(r)
+		if *benchjson != "" {
+			check(r.WriteJSON(*benchjson))
+			fmt.Printf("perf record written to %s\n", *benchjson)
+		}
 	}
 }
 

@@ -16,7 +16,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/frontend"
@@ -30,6 +33,7 @@ func main() {
 	machName := flag.String("machine", "cydra", "machine model: cydra, shortmem, longops, pipediv")
 	dump := flag.String("dump", "sched,pressure", "comma-separated: ir, sched, mrt, gantt, lifetimes, kernel, pressure")
 	verify := flag.Bool("verify", false, "execute the generated kernel on the VLIW simulator against the interpreter (auto-generated inputs)")
+	par := flag.Int("parallel", 0, "compile the file's loops on this many workers (0 = GOMAXPROCS, 1 = sequential); output order is unchanged")
 	flag.Parse()
 
 	var m *machine.Desc
@@ -67,6 +71,17 @@ func main() {
 		wants[strings.TrimSpace(d)] = true
 	}
 
+	// Compile every eligible loop up front — concurrently when -parallel
+	// allows — then render the reports in source order.
+	compiled := make([]*core.Compiled, len(loops))
+	cerrs := make([]error, len(loops))
+	compileAll(loops, *par, func(i int) {
+		if loops[i].Ineligible != nil {
+			return
+		}
+		compiled[i], cerrs[i] = core.Compile(loops[i].Loop, core.Options{Scheduler: core.SchedulerName(*schedName)})
+	})
+
 	for i, cl := range loops {
 		fmt.Printf("\n=== loop %d (line %d) ===\n", i+1, cl.Do.Pos())
 		if cl.Ineligible != nil {
@@ -76,7 +91,7 @@ func main() {
 		if wants["ir"] {
 			fmt.Print(cl.Loop.String())
 		}
-		c, err := core.Compile(cl.Loop, core.Options{Scheduler: core.SchedulerName(*schedName)})
+		c, err := compiled[i], cerrs[i]
 		if err != nil {
 			fatalf("scheduling: %v", err)
 		}
@@ -126,6 +141,38 @@ func main() {
 			fmt.Printf("verify: %d iterations on the VLIW simulator match the interpreter\n", trips)
 		}
 	}
+}
+
+// compileAll runs fn(i) for every loop index over a bounded worker pool.
+func compileAll(loops []*frontend.CompiledLoop, par int, fn func(i int)) {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(loops) {
+		par = len(loops)
+	}
+	if par <= 1 {
+		for i := range loops {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(loops) {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func optimality(ii, mii int) string {

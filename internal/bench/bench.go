@@ -7,6 +7,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -74,10 +77,17 @@ type Run struct {
 	Stats   sched.Stats
 }
 
-// Suite wraps the workload with cached analyses and runs.
+// Suite wraps the workload with cached analyses and runs. Suite methods
+// are not safe for concurrent use, but Infos and Runs fan their own
+// work out over Parallel goroutines (loops are independent).
 type Suite struct {
 	Mach  *machine.Desc
 	Loops []*loopgen.Loop
+	Seed  int64
+
+	// Parallel bounds the worker pool used by Infos and Runs: 0 means
+	// runtime.GOMAXPROCS(0), 1 disables concurrency.
+	Parallel int
 
 	infos []*LoopInfo
 	runs  map[core.SchedulerName][]Run
@@ -93,28 +103,86 @@ func NewSuite(opt loopgen.Options) (*Suite, error) {
 	return &Suite{
 		Mach:  w.Mach,
 		Loops: w.Loops,
+		Seed:  opt.Seed,
 		runs:  map[core.SchedulerName][]Run{},
 		cfgs:  map[core.SchedulerName]sched.Config{},
 	}, nil
 }
 
+// workers resolves the pool size for n independent work items.
+func (s *Suite) workers(n int) int {
+	w := s.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach applies fn to every index in [0, n), fanned out over the
+// suite's worker pool. Each fn writes only into its own index slot, so
+// results are deterministic regardless of pool size; on failure the
+// lowest-index error is reported, matching the sequential order.
+func (s *Suite) forEach(n int, fn func(i int) error) error {
+	w := s.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Size returns the number of loops.
 func (s *Suite) Size() int { return len(s.Loops) }
 
-// Infos computes (once) the schedule-independent loop measurements.
+// Infos computes (once) the schedule-independent loop measurements,
+// fanning the per-loop analyses out over the worker pool.
 func (s *Suite) Infos() ([]*LoopInfo, error) {
 	if s.infos != nil {
 		return s.infos, nil
 	}
-	for _, wl := range s.Loops {
+	infos := make([]*LoopInfo, len(s.Loops))
+	err := s.forEach(len(s.Loops), func(i int) error {
+		wl := s.Loops[i]
 		l := wl.CL.Loop
 		b, err := mii.Compute(l)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", wl.Name, err)
+			return fmt.Errorf("%s: %w", wl.Name, err)
 		}
 		md, err := mindist.Compute(l, b.MII)
 		if err != nil {
-			return nil, fmt.Errorf("%s at MII: %w", wl.Name, err)
+			return fmt.Errorf("%s at MII: %w", wl.Name, err)
 		}
 		info := &LoopInfo{
 			Name:        wl.Name,
@@ -143,8 +211,13 @@ func (s *Suite) Infos() ([]*LoopInfo, error) {
 		case hasR:
 			info.Class = HasRecurrence
 		}
-		s.infos = append(s.infos, info)
+		infos[i] = info
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.infos = infos
 	return s.infos, nil
 }
 
@@ -155,7 +228,8 @@ func (s *Suite) Configure(name core.SchedulerName, cfg sched.Config) {
 	delete(s.runs, name)
 }
 
-// Runs schedules every loop with the given policy (cached).
+// Runs schedules every loop with the given policy (cached), fanning the
+// independent compilations out over the worker pool.
 func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
 	if rs, ok := s.runs[name]; ok {
 		return rs, nil
@@ -164,15 +238,17 @@ func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg := s.cfgs[name]
 	rs := make([]Run, len(infos))
-	for i, info := range infos {
+	err = s.forEach(len(infos), func(i int) error {
+		info := infos[i]
 		c, err := core.Compile(info.Loop, core.Options{
 			Scheduler:   name,
-			Config:      s.cfgs[name],
+			Config:      cfg,
 			SkipCodegen: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", name, info.Name, err)
+			return fmt.Errorf("%s/%s: %w", name, info.Name, err)
 		}
 		r := Run{Info: info, OK: c.OK(), II: c.Result.II(), Stats: c.Result.Stats}
 		if c.OK() {
@@ -181,6 +257,10 @@ func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
 			r.ICR = c.ICR
 		}
 		rs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.runs[name] = rs
 	return rs, nil

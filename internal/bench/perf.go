@@ -1,0 +1,116 @@
+// Harness performance instrumentation: the full-suite scheduling sweep
+// is the repository's compile-time hot path, and later PRs need a
+// recorded trajectory to regress against. Perf times one sweep per
+// policy and aggregates the Section 6 effort counters plus the
+// MinDist/central-loop attribution; WriteJSON emits the machine-readable
+// record (conventionally BENCH_sched.json at the repo root).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// PolicyPerf is one policy's full-suite scheduling cost.
+type PolicyPerf struct {
+	Policy       string  `json:"policy"`
+	Loops        int     `json:"loops"`
+	Failures     int     `json:"failures"`
+	WallMS       float64 `json:"wall_ms"`
+	MinDistMS    float64 `json:"mindist_ms"` // of scheduling time: building MinDist tables
+	CentralMS    float64 `json:"central_ms"` // of scheduling time: the central loop
+	IIAttempts   int64   `json:"ii_attempts"`
+	CentralIters int64   `json:"central_iters"`
+	Placements   int64   `json:"placements"`
+	Ejections    int64   `json:"ejections"`
+}
+
+// PerfReport is the machine-readable record of one benchmark sweep.
+type PerfReport struct {
+	Size       int          `json:"size"`
+	Seed       int64        `json:"seed"`
+	Parallel   int          `json:"parallel"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	FastPaths  bool         `json:"fast_paths"` // parametric MinDist + incremental bounds
+	WallMS     float64      `json:"wall_ms"`    // whole sweep, all policies
+	Policies   []PolicyPerf `json:"policies"`
+}
+
+// Perf schedules the whole workload once per policy, timing each sweep.
+// Analyses shared across policies (Infos) are warmed outside the timed
+// region; cached runs are discarded so every sweep is measured fresh.
+func Perf(s *Suite) (*PerfReport, error) {
+	if _, err := s.Infos(); err != nil {
+		return nil, err
+	}
+	r := &PerfReport{
+		Size:       s.Size(),
+		Seed:       s.Seed,
+		Parallel:   s.workers(s.Size()),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	sweepStart := time.Now()
+	for _, name := range core.Schedulers() {
+		r.FastPaths = r.FastPaths || !s.cfgs[name].NoFastPaths
+		delete(s.runs, name)
+		start := time.Now()
+		rs, err := s.Runs(name)
+		if err != nil {
+			return nil, err
+		}
+		p := PolicyPerf{
+			Policy: string(name),
+			Loops:  len(rs),
+			WallMS: ms(time.Since(start)),
+		}
+		var mdt, cat time.Duration
+		for _, run := range rs {
+			if !run.OK {
+				p.Failures++
+			}
+			mdt += run.Stats.MinDistTime
+			cat += run.Stats.CentralTime
+			p.IIAttempts += int64(run.Stats.IIAttempts)
+			p.CentralIters += run.Stats.CentralIters
+			p.Placements += run.Stats.Placements
+			p.Ejections += run.Stats.Ejections
+		}
+		p.MinDistMS = ms(mdt)
+		p.CentralMS = ms(cat)
+		r.Policies = append(r.Policies, p)
+	}
+	r.WallMS = ms(time.Since(sweepStart))
+	return r, nil
+}
+
+// ms converts a duration to milliseconds at microsecond precision.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// WriteJSON records the report at path.
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders the human-readable summary.
+func (r *PerfReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduling sweep — %d loops (seed %d), %d worker(s), GOMAXPROCS %d, total %.0f ms\n",
+		r.Size, r.Seed, r.Parallel, r.GOMAXPROCS, r.WallMS)
+	fmt.Fprintf(&b, "%-22s %9s %10s %10s %12s %12s %9s %6s\n",
+		"policy", "wall ms", "mindist ms", "central ms", "central iters", "placements", "ejections", "fails")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "%-22s %9.0f %10.0f %10.0f %12d %12d %9d %6d\n",
+			p.Policy, p.WallMS, p.MinDistMS, p.CentralMS, p.CentralIters, p.Placements, p.Ejections, p.Failures)
+	}
+	return b.String()
+}

@@ -97,6 +97,9 @@ func Compile(l *ir.Loop, opt Options) (*Compiled, error) {
 	s := res.Schedule
 	c.RR = lifetime.Measure(l, s, ir.RR)
 	c.ICR = lifetime.ICRUsage(l, s)
+	// Every scheduler plumbs the table at its final II through
+	// res.MinDist, so on success the recompute below never triggers; it
+	// remains as a defensive fallback for external Result producers.
 	md := res.MinDist
 	if md == nil || md.II != s.II {
 		md, err = mindist.Compute(l, s.II)

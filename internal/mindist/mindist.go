@@ -46,6 +46,12 @@ func (e *ErrInfeasible) Error() string {
 
 // Compute builds the MinDist table for the loop at the given II.
 func Compute(l *ir.Loop, ii int) (*Table, error) {
+	return computeInto(l, ii, nil)
+}
+
+// computeInto is Compute with an optional table whose backing store is
+// reused when it fits (the scheduler retries the same loop at many IIs).
+func computeInto(l *ir.Loop, ii int, reuse *Table) (*Table, error) {
 	if !l.Finalized() {
 		panic("mindist: loop not finalized")
 	}
@@ -54,7 +60,11 @@ func Compute(l *ir.Loop, ii int) (*Table, error) {
 	}
 	n := len(l.Ops)
 	w := n + 2
-	t := &Table{II: ii, n: n, d: make([]int, w*w), width: w}
+	t := reuse
+	if t == nil || len(t.d) != w*w {
+		t = &Table{d: make([]int, w*w)}
+	}
+	t.II, t.n, t.width = ii, n, w
 	for i := range t.d {
 		t.d[i] = NoPath
 	}

@@ -1,0 +1,220 @@
+// Parametric MinDist: the scheduler retries a loop at increasing IIs,
+// and every retry needs the full MinDist relation at the new II. The
+// direct route recomputes the O(n³) Floyd–Warshall from scratch per II,
+// yet the only II-dependence in the arc costs is linear: a path with
+// total latency L and total distance Ω costs L − Ω·II at every II. A
+// single Floyd–Warshall over Pareto-optimal (L, Ω) pairs therefore
+// captures MinDist for all IIs at once, after which any particular table
+// instantiates in O(n²·f) where f is the (tiny) frontier size.
+//
+// Correctness: pair (L₁, Ω₁) dominates (L₂, Ω₂) when L₁ ≥ L₂ and
+// Ω₁ ≤ Ω₂ — then L₁ − Ω₁·II ≥ L₂ − Ω₂·II for every II ≥ 0, so pruning
+// dominated pairs never loses the maximum. The frontier covers every
+// simple path (the usual Floyd–Warshall induction, with dominance a
+// congruence under path concatenation); at any feasible II all
+// dependence circuits cost ≤ 0, so the best path is simple and the
+// instantiated table equals the direct computation exactly. Diagonal
+// frontiers cover every simple circuit, and a positive-cost circuit at
+// some II implies a positive-cost *simple* circuit, so infeasibility
+// detection is exact as well.
+package mindist
+
+import (
+	"errors"
+
+	"repro/internal/ir"
+)
+
+// DefaultFrontierCap bounds the Pareto frontier per op pair. Loops whose
+// recurrence structure exceeds it (many circuits with incomparable
+// latency/distance trade-offs) fall back to the direct computation.
+const DefaultFrontierCap = 12
+
+// ErrTooComplex reports that some pair's Pareto frontier exceeded the
+// cap; callers should fall back to Compute.
+var ErrTooComplex = errors.New("mindist: Pareto frontier exceeds cap")
+
+// pathPair is one Pareto-optimal (Σlatency, Σω) over the paths between a
+// pair of ops; its cost at a given II is lat − omega·II.
+type pathPair struct {
+	lat, omega int
+}
+
+// Parametric is the II-independent MinDist relation of one loop.
+type Parametric struct {
+	n     int // real ops; Start = n, Stop = n+1
+	width int
+	sets  [][]pathPair // Pareto frontier per (x, y), sorted by omega asc, lat asc
+}
+
+// insertPair folds one candidate into a frontier kept sorted by
+// ascending omega with strictly ascending lat (any other order is
+// dominated). It reports the updated frontier.
+func insertPair(set []pathPair, p pathPair) []pathPair {
+	// Find the insertion point; a pair with omega ≤ p.omega and
+	// lat ≥ p.lat dominates p.
+	i := 0
+	for i < len(set) && set[i].omega < p.omega {
+		i++
+	}
+	if i > 0 && set[i-1].lat >= p.lat {
+		return set // dominated by a shorter-distance pair
+	}
+	if i < len(set) && set[i].omega == p.omega {
+		if set[i].lat >= p.lat {
+			return set
+		}
+		set[i].lat = p.lat
+	} else {
+		set = append(set, pathPair{})
+		copy(set[i+1:], set[i:])
+		set[i] = p
+	}
+	// Drop longer-distance pairs that p now dominates.
+	j := i + 1
+	for j < len(set) && set[j].lat <= set[i].lat {
+		j++
+	}
+	if j > i+1 {
+		set = append(set[:i+1], set[j:]...)
+	}
+	return set
+}
+
+// NewParametric runs the one-time all-IIs Floyd–Warshall. It returns
+// ErrTooComplex when any frontier would exceed frontierCap (≤ 0 means
+// DefaultFrontierCap).
+func NewParametric(l *ir.Loop, frontierCap int) (*Parametric, error) {
+	if !l.Finalized() {
+		panic("mindist: loop not finalized")
+	}
+	if frontierCap <= 0 {
+		frontierCap = DefaultFrontierCap
+	}
+	n := len(l.Ops)
+	w := n + 2
+	p := &Parametric{n: n, width: w, sets: make([][]pathPair, w*w)}
+	relax := func(x, y, lat, omega int) {
+		p.sets[x*w+y] = insertPair(p.sets[x*w+y], pathPair{lat, omega})
+	}
+	for _, dep := range l.Deps {
+		relax(int(dep.From), int(dep.To), dep.Latency, dep.Omega)
+	}
+	start, stop := n, n+1
+	for i, op := range l.Ops {
+		relax(start, i, 0, 0)
+		relax(i, stop, l.Mach.Latency(op.Opcode), 0)
+	}
+	relax(start, stop, 0, 0)
+	for x := 0; x < w; x++ {
+		relax(x, x, 0, 0) // MinDist(x, x) = 0 by definition
+	}
+
+	// Floyd–Warshall over frontiers, maximizing at every II at once.
+	for k := 0; k < w; k++ {
+		for x := 0; x < w; x++ {
+			if x == k {
+				continue
+			}
+			a := p.sets[x*w+k]
+			if len(a) == 0 {
+				continue
+			}
+			for y := 0; y < w; y++ {
+				if y == k {
+					continue
+				}
+				b := p.sets[k*w+y]
+				if len(b) == 0 {
+					continue
+				}
+				set := p.sets[x*w+y]
+				for _, pa := range a {
+					for _, pb := range b {
+						set = insertPair(set, pathPair{pa.lat + pb.lat, pa.omega + pb.omega})
+					}
+				}
+				if len(set) > frontierCap {
+					return nil, ErrTooComplex
+				}
+				p.sets[x*w+y] = set
+			}
+		}
+	}
+	return p, nil
+}
+
+// Instantiate evaluates the parametric relation at one II, writing into
+// reuse when its backing store fits (pass nil to allocate). Like
+// Compute, it reports ErrInfeasible when the II admits a positive-cost
+// dependence circuit.
+func (p *Parametric) Instantiate(ii int, reuse *Table) (*Table, error) {
+	if ii < 1 {
+		panic("mindist: II must be positive")
+	}
+	t := reuse
+	if t == nil || len(t.d) != p.width*p.width {
+		t = &Table{d: make([]int, p.width*p.width)}
+	}
+	t.II, t.n, t.width = ii, p.n, p.width
+	for i, set := range p.sets {
+		best := NoPath
+		for _, pr := range set {
+			if c := pr.lat - pr.omega*ii; c > best {
+				best = c
+			}
+		}
+		t.d[i] = best
+	}
+	for x := 0; x < p.width; x++ {
+		if t.d[x*p.width+x] > 0 {
+			return nil, &ErrInfeasible{II: ii}
+		}
+	}
+	return t, nil
+}
+
+// Cache amortizes MinDist construction across the II retries of one
+// scheduling run. The first request computes directly (a loop that
+// schedules at its first II — the common case — pays nothing extra); a
+// retry builds the parametric relation once and instantiates every
+// later request in O(n²), falling back to direct computation when the
+// loop is too complex for the frontier cap. The returned *Table's
+// backing store is reused: each At call invalidates the previous one.
+type Cache struct {
+	l         *ir.Loop
+	buf       *Table
+	par       *Parametric
+	parFailed bool
+	calls     int
+}
+
+// NewCache returns an empty cache for the loop.
+func NewCache(l *ir.Loop) *Cache { return &Cache{l: l} }
+
+// At returns the loop's MinDist table at ii, or ErrInfeasible.
+func (c *Cache) At(ii int) (*Table, error) {
+	c.calls++
+	if c.calls > 1 && c.par == nil && !c.parFailed {
+		p, err := NewParametric(c.l, DefaultFrontierCap)
+		if err != nil {
+			c.parFailed = true
+		} else {
+			c.par = p
+		}
+	}
+	var (
+		t   *Table
+		err error
+	)
+	if c.par != nil {
+		t, err = c.par.Instantiate(ii, c.buf)
+	} else {
+		t, err = computeInto(c.l, ii, c.buf)
+	}
+	if err != nil {
+		return nil, err // c.buf keeps any previously allocated store
+	}
+	c.buf = t
+	return t, nil
+}

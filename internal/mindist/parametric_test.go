@@ -1,0 +1,205 @@
+package mindist_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/mii"
+	"repro/internal/mindist"
+)
+
+// sameTable asserts every entry of the two tables matches.
+func sameTable(t *testing.T, name string, ii int, want, got *mindist.Table) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("%s II=%d: size %d vs %d", name, ii, want.N(), got.N())
+	}
+	for x := 0; x <= want.N()+1; x++ {
+		for y := 0; y <= want.N()+1; y++ {
+			if want.Dist(x, y) != got.Dist(x, y) {
+				t.Fatalf("%s II=%d: MinDist(%d,%d) direct %d, parametric %d",
+					name, ii, x, y, want.Dist(x, y), got.Dist(x, y))
+			}
+		}
+	}
+}
+
+// corpus returns every kernel loop plus a batch of seeded synthetics.
+func corpus(t *testing.T) []*loopgen.Loop {
+	t.Helper()
+	m := machine.Cydra()
+	ks, err := loopgen.Kernels(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(271828))
+	for i := 0; i < 40; i++ {
+		src := loopgen.Generate(rng, "parsyn")
+		_, loops, err := frontend.Compile(src, m)
+		if err != nil {
+			t.Fatalf("generated loop does not compile: %v", err)
+		}
+		for _, cl := range loops {
+			if cl.Ineligible == nil {
+				ks = append(ks, &loopgen.Loop{Name: "parsyn", Source: src, CL: cl})
+			}
+		}
+	}
+	return ks
+}
+
+// TestParametricMatchesDirect is the differential proof for the
+// parametric MinDist: for every kernel and a batch of synthetics, the
+// instantiated table equals the direct Floyd–Warshall at every II in
+// [MII, MII+8], and both agree on infeasibility below RecMII.
+func TestParametricMatchesDirect(t *testing.T) {
+	fallbacks := 0
+	loops := corpus(t)
+	for _, wl := range loops {
+		l := wl.CL.Loop
+		b, err := mii.Compute(l)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		p, err := mindist.NewParametric(l, mindist.DefaultFrontierCap)
+		if err != nil {
+			if !errors.Is(err, mindist.ErrTooComplex) {
+				t.Fatalf("%s: %v", wl.Name, err)
+			}
+			fallbacks++
+			continue
+		}
+		var reuse *mindist.Table
+		for ii := b.MII; ii <= b.MII+8; ii++ {
+			direct, derr := mindist.Compute(l, ii)
+			if derr != nil {
+				t.Fatalf("%s II=%d ≥ MII must be feasible: %v", wl.Name, ii, derr)
+			}
+			reuse, err = p.Instantiate(ii, reuse)
+			if err != nil {
+				t.Fatalf("%s II=%d: parametric infeasible, direct feasible", wl.Name, ii)
+			}
+			sameTable(t, wl.Name, ii, direct, reuse)
+		}
+		// Below RecMII both paths must report the positive circuit.
+		for ii := 1; ii < b.RecMII; ii++ {
+			_, derr := mindist.Compute(l, ii)
+			_, perr := p.Instantiate(ii, nil)
+			if (derr == nil) != (perr == nil) {
+				t.Fatalf("%s II=%d: direct err %v, parametric err %v", wl.Name, ii, derr, perr)
+			}
+		}
+	}
+	if fallbacks > len(loops)/4 {
+		t.Errorf("parametric fell back on %d of %d loops; cap too tight to matter", fallbacks, len(loops))
+	}
+}
+
+// TestCacheMatchesDirect drives the scheduler-facing cache through an
+// II-retry sequence and checks every answer against the direct path,
+// including the first (direct) call and the infeasible prefix.
+func TestCacheMatchesDirect(t *testing.T) {
+	for _, wl := range corpus(t) {
+		l := wl.CL.Loop
+		b, err := mii.Compute(l)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		c := mindist.NewCache(l)
+		lo := b.RecMII - 1
+		if lo < 1 {
+			lo = 1
+		}
+		for ii := lo; ii <= b.MII+6; ii++ {
+			direct, derr := mindist.Compute(l, ii)
+			got, gerr := c.At(ii)
+			if (derr == nil) != (gerr == nil) {
+				t.Fatalf("%s II=%d: direct err %v, cache err %v", wl.Name, ii, derr, gerr)
+			}
+			if derr == nil {
+				sameTable(t, wl.Name, ii, direct, got)
+			}
+		}
+	}
+}
+
+// TestCacheMinLTStable checks that derived metrics (MinLT, MinAvg) agree
+// between cached and direct tables — they read the table through the
+// same API but are the scheduler's actual consumers.
+func TestCacheMinLTStable(t *testing.T) {
+	m := machine.Cydra()
+	l := fixture.Sample(m)
+	b, err := mii.Compute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mindist.NewCache(l)
+	for ii := b.MII; ii <= b.MII+4; ii++ {
+		direct, err := mindist.Compute(l, ii)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.At(ii)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, bb := mindist.MinAvg(l, direct, ir.RR), mindist.MinAvg(l, got, ir.RR); a != bb {
+			t.Fatalf("II=%d: MinAvg direct %d, cache %d", ii, a, bb)
+		}
+		for _, v := range l.Values {
+			if a, bb := mindist.MinLT(l, direct, v.ID), mindist.MinLT(l, got, v.ID); a != bb {
+				t.Fatalf("II=%d: MinLT(%s) direct %d, cache %d", ii, v.Name, a, bb)
+			}
+		}
+	}
+}
+
+// BenchmarkComputeDirect is the per-II cost of the direct path on the
+// largest fixture.
+func BenchmarkComputeDirect(b *testing.B) {
+	m := machine.Cydra()
+	l := fixture.Divide(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mindist.Compute(l, 38+i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParametricBuild is the one-time cost of the all-IIs pass.
+func BenchmarkParametricBuild(b *testing.B) {
+	m := machine.Cydra()
+	l := fixture.Divide(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mindist.NewParametric(l, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParametricInstantiate is the per-II cost after the build —
+// the price of each II retry under the cache.
+func BenchmarkParametricInstantiate(b *testing.B) {
+	m := machine.Cydra()
+	l := fixture.Divide(m)
+	p, err := mindist.NewParametric(l, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var t *mindist.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err = p.Instantiate(38+i%8, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

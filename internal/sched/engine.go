@@ -41,6 +41,12 @@ type Config struct {
 	// Trace, when non-nil, receives one line per central-loop event;
 	// used by tests and the CLI's -trace flag.
 	Trace func(format string, args ...any)
+	// NoFastPaths disables the parametric MinDist cache and the
+	// incremental Estart/Lstart maintenance, recomputing both from
+	// scratch at every step. The optimized and direct paths are proven
+	// equivalent by differential tests; this knob exists for them and
+	// for perf attribution.
+	NoFastPaths bool
 }
 
 func (c Config) trace(format string, args ...any) {
@@ -68,6 +74,8 @@ type Stats struct {
 	Ejections    int64         // operations ejected from partial schedules
 	Restarts     int64         // step-6 invocations (budget exhausted)
 	Elapsed      time.Duration // wall-clock scheduling time
+	MinDistTime  time.Duration // of Elapsed: building MinDist tables
+	CentralTime  time.Duration // of Elapsed: running the central loop
 }
 
 // Backtracked reports whether the loop needed any backtracking.
@@ -130,9 +138,22 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 		maxII = s.autoMaxII(l, bounds)
 	}
 
+	// The cache computes the first II directly and answers retries from
+	// the parametric relation in O(n²), reusing one table's backing
+	// store throughout; res.MinDist therefore always holds the table at
+	// the final (achieved or last attempted) II.
+	cache := mindist.NewCache(l)
 	for ii <= maxII {
 		res.Stats.IIAttempts++
-		md, err := mindist.Compute(l, ii)
+		mdStart := time.Now()
+		var md *mindist.Table
+		var err error
+		if s.cfg.NoFastPaths {
+			md, err = mindist.Compute(l, ii)
+		} else {
+			md, err = cache.At(ii)
+		}
+		res.Stats.MinDistTime += time.Since(mdStart)
 		if err != nil {
 			// II below RecMII (possible only with StartII misuse): step up.
 			res.FailedII = ii
@@ -140,8 +161,12 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 			continue
 		}
 		res.MinDist = md
+		caStart := time.Now()
 		st := newState(l, ii, md)
-		if s.attempt(st, &res.Stats) {
+		st.noIncremental = s.cfg.NoFastPaths
+		ok := s.attempt(st, &res.Stats)
+		res.Stats.CentralTime += time.Since(caStart)
+		if ok {
 			res.Schedule = st.mrt.Schedule()
 			res.Stats.Elapsed = time.Since(started)
 			return res, nil
@@ -274,8 +299,10 @@ func (s *Scheduler) attempt(st *State, stats *Stats) bool {
 		}
 		stats.Placements++
 
-		// Step 5: refresh Estart/Lstart for unplaced ops.
-		st.recomputeBounds()
+		// Step 5: refresh Estart/Lstart for unplaced ops — incrementally
+		// after a clean placement, from scratch after ejections or a
+		// Stop-anchor move (Section 4.4).
+		st.refreshBounds(x)
 	}
 }
 
@@ -283,7 +310,7 @@ func (s *Scheduler) attempt(st *State, stats *Stats) bool {
 // whether ejection was permissible (false if a victim is brtop, which
 // cannot move because its placement determines the schedule's II).
 func (s *Scheduler) forceAt(st *State, x, c int) bool {
-	var victims []int
+	victims := st.victimBuf[:0]
 	for _, id := range st.resourceVictims(x, c) {
 		if int(id) == x {
 			return false // op cannot fit at any cycle (busy > II)
@@ -291,21 +318,23 @@ func (s *Scheduler) forceAt(st *State, x, c int) bool {
 		victims = append(victims, int(id))
 	}
 	if c > st.lstart[x] {
-		for _, y := range st.depVictims(x, c) {
-			victims = append(victims, y)
-		}
+		victims = append(victims, st.depVictims(x, c)...)
 	}
+	st.victimBuf = victims
 	for _, y := range victims {
 		if y == st.brtop {
 			return false
 		}
 	}
-	seen := map[int]bool{}
+	seen := st.scratch // all-false between calls
 	for _, y := range victims {
 		if !seen[y] && st.Placed(y) {
 			seen[y] = true
 			st.eject(y)
 		}
+	}
+	for _, y := range victims {
+		seen[y] = false
 	}
 	return true
 }

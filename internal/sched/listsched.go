@@ -40,15 +40,25 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 	}
 	n := len(l.Ops)
 
+	cache := mindist.NewCache(l)
 	for ii := bounds.MII; ii <= maxII; ii++ {
 		res.Stats.IIAttempts++
-		md, err := mindist.Compute(l, ii)
+		mdStart := time.Now()
+		var md *mindist.Table
+		var err error
+		if cfg.NoFastPaths {
+			md, err = mindist.Compute(l, ii)
+		} else {
+			md, err = cache.At(ii)
+		}
+		res.Stats.MinDistTime += time.Since(mdStart)
 		if err != nil {
 			res.FailedII = ii
 			continue
 		}
 		res.MinDist = md
 
+		caStart := time.Now()
 		// Height priority: longest path to Stop at this II.
 		order := make([]int, n)
 		for i := range order {
@@ -110,6 +120,7 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 				break
 			}
 		}
+		res.Stats.CentralTime += time.Since(caStart)
 		if ok {
 			res.Schedule = table.Schedule()
 			res.Stats.Elapsed = time.Since(started)

@@ -52,6 +52,15 @@ type State struct {
 
 	unplacedCount int
 	ejections     int // ejections charged against this attempt's budget
+
+	// esFrom/lsFrom witness each unplaced index's bound: the placed
+	// index whose constraint determines it, or -1 when the
+	// schedule-independent base (Start / the Stop anchor) does. An
+	// ejection then invalidates only the bounds it witnessed.
+	esFrom, lsFrom []int
+	noIncremental  bool   // force the full recompute (differential testing)
+	scratch        []bool // forceAt dedup scratch, n+1 wide, false between calls
+	victimBuf      []int  // forceAt victim accumulator, reused across calls
 }
 
 // StopIndex returns the index representing the Stop pseudo-op, which is
@@ -107,6 +116,9 @@ func newState(l *ir.Loop, iiVal int, md *mindist.Table) *State {
 	st.estart = make([]int, n+1)
 	st.lstart = make([]int, n+1)
 	st.lastPlace = make([]int, n+1)
+	st.scratch = make([]bool, n+1)
+	st.esFrom = make([]int, n+1)
+	st.lsFrom = make([]int, n+1)
 	for i := range st.time {
 		st.time[i] = ir.Unplaced
 		st.lastPlace[i] = ir.Unplaced
@@ -189,33 +201,148 @@ func (st *State) recomputeBounds() {
 			if st.Placed(x) {
 				st.estart[x] = st.time[x]
 				st.lstart[x] = st.time[x]
+				st.esFrom[x] = -1
+				st.lsFrom[x] = -1
 				continue
 			}
-			es := 0
-			if d := st.MD.Dist(st.MD.Start(), st.mdIndex(x)); d != mindist.NoPath {
-				es = d
-			}
-			ls := st.lstartStop
-			if d := st.dist(x, st.n); d != mindist.NoPath {
-				ls = st.lstartStop - d
-			}
-			for y := 0; y <= st.n; y++ {
-				if !st.Placed(y) || y == x {
-					continue
-				}
-				ty := st.time[y]
-				if d := st.dist(y, x); d != mindist.NoPath && ty+d > es {
-					es = ty + d
-				}
-				if d := st.dist(x, y); d != mindist.NoPath && ty-d < ls {
-					ls = ty - d
-				}
-			}
-			st.estart[x] = es
-			st.lstart[x] = ls
+			st.recomputeIndex(x)
 		}
 		if !st.maintainStop() {
 			return
+		}
+	}
+}
+
+// recomputeIndex rebuilds one unplaced index's Estart and Lstart — and
+// their witnesses — in a single pass over the placed ops.
+func (st *State) recomputeIndex(x int) {
+	es := 0
+	if d := st.MD.Dist(st.MD.Start(), st.mdIndex(x)); d != mindist.NoPath {
+		es = d
+	}
+	ls := st.lstartStop
+	if d := st.dist(x, st.n); d != mindist.NoPath {
+		ls = st.lstartStop - d
+	}
+	esFrom, lsFrom := -1, -1
+	for y := 0; y <= st.n; y++ {
+		if !st.Placed(y) || y == x {
+			continue
+		}
+		ty := st.time[y]
+		if d := st.dist(y, x); d != mindist.NoPath && ty+d > es {
+			es = ty + d
+			esFrom = y
+		}
+		if d := st.dist(x, y); d != mindist.NoPath && ty-d < ls {
+			ls = ty - d
+			lsFrom = y
+		}
+	}
+	st.estart[x] = es
+	st.esFrom[x] = esFrom
+	st.lstart[x] = ls
+	st.lsFrom[x] = lsFrom
+}
+
+// recomputeEstart rebuilds one unplaced index's Estart — and its witness
+// — from Start and every placed index.
+func (st *State) recomputeEstart(x int) {
+	es := 0
+	if d := st.MD.Dist(st.MD.Start(), st.mdIndex(x)); d != mindist.NoPath {
+		es = d
+	}
+	from := -1
+	for y := 0; y <= st.n; y++ {
+		if !st.Placed(y) || y == x {
+			continue
+		}
+		if d := st.dist(y, x); d != mindist.NoPath && st.time[y]+d > es {
+			es = st.time[y] + d
+			from = y
+		}
+	}
+	st.estart[x] = es
+	st.esFrom[x] = from
+}
+
+// recomputeLstart rebuilds one unplaced index's Lstart — and its witness
+// — from the Stop anchor and every placed index.
+func (st *State) recomputeLstart(x int) {
+	ls := st.lstartStop
+	if d := st.dist(x, st.n); d != mindist.NoPath {
+		ls = st.lstartStop - d
+	}
+	from := -1
+	for y := 0; y <= st.n; y++ {
+		if !st.Placed(y) || y == x {
+			continue
+		}
+		if d := st.dist(x, y); d != mindist.NoPath && st.time[y]-d < ls {
+			ls = st.time[y] - d
+			from = y
+		}
+	}
+	st.lstart[x] = ls
+	st.lsFrom[x] = from
+}
+
+// refreshBounds updates Estart/Lstart after placing x. A placement can
+// only tighten bounds, and because MinDist is transitively closed a
+// single O(u) sweep applying x's delta to every unplaced index
+// reproduces the full recomputation exactly — Section 4.4's incremental
+// maintenance. Only a Stop-anchor move (which loosens the Lstart base)
+// still falls back to the full O(p·u) recomputeBounds; ejections are
+// repaired eagerly by repairAfterEject.
+func (st *State) refreshBounds(x int) {
+	if st.noIncremental {
+		st.recomputeBounds()
+		return
+	}
+	t := st.time[x]
+	st.estart[x] = t
+	st.lstart[x] = t
+	st.esFrom[x] = -1
+	st.lsFrom[x] = -1
+	for y := 0; y <= st.n; y++ {
+		if y == x || st.Placed(y) {
+			continue
+		}
+		if d := st.dist(x, y); d != mindist.NoPath && t+d > st.estart[y] {
+			st.estart[y] = t + d
+			st.esFrom[y] = x
+		}
+		if d := st.dist(y, x); d != mindist.NoPath && t-d < st.lstart[y] {
+			st.lstart[y] = t - d
+			st.lsFrom[y] = x
+		}
+	}
+	if st.maintainStop() {
+		st.recomputeBounds()
+	}
+}
+
+// repairAfterEject restores the bounds invariant after y leaves the
+// schedule: y's own bounds are rebuilt, and any unplaced index whose
+// Estart or Lstart was witnessed by y is rebuilt in O(p). Bounds
+// witnessed elsewhere (or by the schedule-independent base) still hold —
+// an ejection can only loosen constraints, and only through the ejected
+// op — so the common case costs a single O(u) witness scan. The Stop
+// anchor never moves here: ejections only lower Estart(Stop), and the
+// anchor resets only when pushed upward (Section 4.2).
+func (st *State) repairAfterEject(y int) {
+	st.recomputeIndex(y)
+	for x := 0; x <= st.n; x++ {
+		if x == y || st.Placed(x) {
+			continue
+		}
+		switch {
+		case st.esFrom[x] == y && st.lsFrom[x] == y:
+			st.recomputeIndex(x)
+		case st.esFrom[x] == y:
+			st.recomputeEstart(x)
+		case st.lsFrom[x] == y:
+			st.recomputeLstart(x)
 		}
 	}
 }
@@ -272,6 +399,9 @@ func (st *State) place(x, cycle int) {
 }
 
 // eject removes index x from the schedule and charges the budget.
+// Removing a placement can loosen other bounds, but only bounds that x
+// itself witnessed, so a targeted repair keeps the invariant without a
+// full recomputation.
 func (st *State) eject(x int) {
 	if x < st.n {
 		st.mrt.Eject(st.L.Ops[x])
@@ -279,6 +409,12 @@ func (st *State) eject(x int) {
 	st.time[x] = ir.Unplaced
 	st.unplacedCount++
 	st.ejections++
+	// Under NoFastPaths every refreshBounds call recomputes from
+	// scratch anyway, and no bound is read between an ejection and the
+	// next refresh, so the direct path defers to it.
+	if !st.noIncremental {
+		st.repairAfterEject(x)
+	}
 }
 
 // allPlaced reports whether every op and Stop have been placed.
