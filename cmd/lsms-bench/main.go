@@ -4,11 +4,12 @@
 // Usage:
 //
 //	lsms-bench [-size 1525] [-seed 1993] [-exp all] [-parallel N]
-//	           [-benchjson BENCH_sched.json]
+//	           [-benchjson BENCH_sched.json] [-metricsjson BENCH_metrics.json]
+//	           [-deadline 0] [-degrade]
 //
 // Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
 // headline ablation regalloc iistep expansion predshare straightline
-// latencies perf all
+// latencies perf metrics all
 package main
 
 import (
@@ -30,7 +31,10 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids")
 	par := flag.Int("parallel", 0, "worker pool for the scheduling sweep (0 = GOMAXPROCS, 1 = sequential)")
 	benchjson := flag.String("benchjson", "", "write the perf experiment's JSON record here (implies -exp perf)")
+	metricsjson := flag.String("metricsjson", "", "write the merged event-stream metrics JSON here (implies -exp metrics)")
 	noFast := flag.Bool("nofastpaths", false, "disable parametric MinDist reuse and incremental bounds (perf attribution baseline)")
+	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
+	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its deadline")
 	flag.Parse()
 
 	wants := map[string]bool{}
@@ -48,9 +52,14 @@ func main() {
 				fatalf("building workload: %v", err)
 			}
 			s.Parallel = *par
-			if *noFast {
+			s.Degrade = *degrade
+			if *noFast || *deadline > 0 {
+				cfg := sched.Config{
+					NoFastPaths: *noFast,
+					Budget:      sched.Budget{Deadline: *deadline},
+				}
 				for _, n := range core.Schedulers() {
-					s.Configure(n, sched.Config{NoFastPaths: true})
+					s.Configure(n, cfg)
 				}
 			}
 			fmt.Printf("workload: %d loops (seed %d) on machine %q\n\n", s.Size(), *seed, s.Mach.Name)
@@ -158,6 +167,15 @@ func main() {
 		if *benchjson != "" {
 			check(r.WriteJSON(*benchjson))
 			fmt.Printf("perf record written to %s\n", *benchjson)
+		}
+	}
+	if want("metrics") || *metricsjson != "" {
+		r, err := bench.CollectMetrics(suite())
+		check(err)
+		fmt.Println(r)
+		if *metricsjson != "" {
+			check(r.WriteJSON(*metricsjson))
+			fmt.Printf("metrics record written to %s\n", *metricsjson)
 		}
 	}
 }

@@ -8,10 +8,25 @@
 //
 //	lsms [-scheduler slack|slack-unidirectional|cydrome|list]
 //	     [-machine cydra|shortmem|longops|pipediv]
-//	     [-dump ir,sched,kernel,pressure] file.f
+//	     [-dump ir,sched,kernel,pressure]
+//	     [-trace] [-deadline 0] [-degrade] file.f
+//
+// Exit codes map the typed compilation errors so scripts can tell the
+// failure modes apart:
+//
+//	0 — every eligible loop was scheduled (possibly degraded);
+//	1 — generic failure (I/O, frontend, internal error);
+//	2 — the -scheduler name has no registration (core.ErrUnknownScheduler);
+//	3 — some loop was infeasible: the II ceiling was exhausted
+//	    (sched.ErrInfeasible);
+//	4 — some loop exhausted its -deadline budget without -degrade
+//	    rescuing it (sched.ErrBudgetExhausted).
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,7 +40,17 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/viz"
+)
+
+// The documented exit codes.
+const (
+	exitOK         = 0
+	exitGeneric    = 1
+	exitUnknown    = 2
+	exitInfeasible = 3
+	exitBudget     = 4
 )
 
 func main() {
@@ -34,6 +59,9 @@ func main() {
 	dump := flag.String("dump", "sched,pressure", "comma-separated: ir, sched, mrt, gantt, lifetimes, kernel, pressure")
 	verify := flag.Bool("verify", false, "execute the generated kernel on the VLIW simulator against the interpreter (auto-generated inputs)")
 	par := flag.Int("parallel", 0, "compile the file's loops on this many workers (0 = GOMAXPROCS, 1 = sequential); output order is unchanged")
+	trace := flag.Bool("trace", false, "print the scheduler's per-iteration trace before each loop's report")
+	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
+	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its -deadline")
 	flag.Parse()
 
 	var m *machine.Desc
@@ -72,16 +100,33 @@ func main() {
 	}
 
 	// Compile every eligible loop up front — concurrently when -parallel
-	// allows — then render the reports in source order.
+	// allows — then render the reports in source order. Each loop gets
+	// its own trace buffer so parallel compilation cannot interleave the
+	// event streams.
 	compiled := make([]*core.Compiled, len(loops))
 	cerrs := make([]error, len(loops))
+	traces := make([]bytes.Buffer, len(loops))
 	compileAll(loops, *par, func(i int) {
 		if loops[i].Ineligible != nil {
 			return
 		}
-		compiled[i], cerrs[i] = core.Compile(loops[i].Loop, core.Options{Scheduler: core.SchedulerName(*schedName)})
+		opt := core.Options{
+			Scheduler: core.SchedulerName(*schedName),
+			Config:    sched.Config{Budget: sched.Budget{Deadline: *deadline}},
+			Degrade:   *degrade,
+		}
+		if *trace {
+			opt.Config.Observer = sched.TextObserver(&traces[i])
+		}
+		compiled[i], cerrs[i] = core.CompileContext(context.Background(), loops[i].Loop, opt)
 	})
 
+	exit := exitOK
+	worse := func(code int) {
+		if code > exit {
+			exit = code
+		}
+	}
 	for i, cl := range loops {
 		fmt.Printf("\n=== loop %d (line %d) ===\n", i+1, cl.Do.Pos())
 		if cl.Ineligible != nil {
@@ -91,15 +136,37 @@ func main() {
 		if wants["ir"] {
 			fmt.Print(cl.Loop.String())
 		}
+		if *trace && traces[i].Len() > 0 {
+			os.Stdout.Write(traces[i].Bytes())
+		}
 		c, err := compiled[i], cerrs[i]
 		if err != nil {
-			fatalf("scheduling: %v", err)
+			var be *sched.BudgetError
+			switch {
+			case errors.Is(err, core.ErrUnknownScheduler):
+				fmt.Fprintf(os.Stderr, "lsms: %v\n", err)
+				os.Exit(exitUnknown)
+			case errors.As(err, &be):
+				fmt.Printf("scheduler %s exhausted its budget (%s) at II=%d (MII %d) after %d central iteration(s)\n",
+					*schedName, be.Reason, be.LastII, be.MII, be.Stats.CentralIters)
+				worse(exitBudget)
+				continue
+			case errors.Is(err, sched.ErrInfeasible):
+				// Fall through: the partial result carries the give-up
+				// evidence the report below prints.
+			default:
+				fatalf("scheduling: %v", err)
+			}
 		}
 		b := c.Result.Bounds
 		fmt.Printf("bounds: ResMII=%d RecMII=%d MII=%d\n", b.ResMII, b.RecMII, b.MII)
 		if !c.OK() {
 			fmt.Printf("scheduler %s gave up (last II attempted: %d)\n", *schedName, c.Result.FailedII)
+			worse(exitInfeasible)
 			continue
+		}
+		if c.Degraded {
+			fmt.Printf("budget exhausted (%s); degraded to the list scheduler\n", c.BudgetErr.Reason)
 		}
 		s := c.Result.Schedule
 		fmt.Printf("scheduled at II=%d (%s), length %d, %d stages\n",
@@ -140,6 +207,9 @@ func main() {
 			}
 			fmt.Printf("verify: %d iterations on the VLIW simulator match the interpreter\n", trips)
 		}
+	}
+	if exit != exitOK {
+		os.Exit(exit)
 	}
 }
 

@@ -6,8 +6,11 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +22,19 @@ import (
 	"repro/internal/mindist"
 	"repro/internal/sched"
 )
+
+// LoopPanicError isolates a panic raised while processing one loop: the
+// worker recovers it, captures the stack, and records it against that
+// loop alone, so one bad loop cannot kill a 1,525-loop sweep.
+type LoopPanicError struct {
+	Loop      string
+	Recovered any
+	Stack     []byte
+}
+
+func (e *LoopPanicError) Error() string {
+	return fmt.Sprintf("bench: %s: panic: %v", e.Loop, e.Recovered)
+}
 
 // Class is the paper's loop classification (Tables 3 and 4). A loop
 // "has a recurrence" when a recurrence circuit actually constrains its
@@ -75,6 +91,17 @@ type Run struct {
 	MinAvg  int // at the achieved II
 	ICR     int
 	Stats   sched.Stats
+
+	// Degraded reports a budget-exhausted run rescued by the list
+	// scheduler (Suite.Degrade).
+	Degraded bool
+	// Err is non-nil when this loop's compilation failed outright: a
+	// *sched.BudgetError, a *LoopPanicError, or an internal error. An
+	// infeasible loop (II ceiling exhausted) is not an Err — it is the
+	// OK=false data the paper's Table 4 tabulates.
+	Err error
+	// Metrics is the loop's aggregated event stream (Suite.Metrics).
+	Metrics *sched.Metrics
 }
 
 // Suite wraps the workload with cached analyses and runs. Suite methods
@@ -88,6 +115,15 @@ type Suite struct {
 	// Parallel bounds the worker pool used by Infos and Runs: 0 means
 	// runtime.GOMAXPROCS(0), 1 disables concurrency.
 	Parallel int
+
+	// Degrade forwards core.Options.Degrade: budget-exhausted runs fall
+	// back to the list scheduler instead of failing.
+	Degrade bool
+	// Metrics attaches one sched.Metrics observer per run; the per-loop
+	// aggregates land in Run.Metrics and MergeMetrics folds them in
+	// loop order, so the merged counters are identical for serial and
+	// parallel sweeps.
+	Metrics bool
 
 	infos []*LoopInfo
 	runs  map[core.SchedulerName][]Run
@@ -127,12 +163,14 @@ func (s *Suite) workers(n int) int {
 // forEach applies fn to every index in [0, n), fanned out over the
 // suite's worker pool. Each fn writes only into its own index slot, so
 // results are deterministic regardless of pool size; on failure the
-// lowest-index error is reported, matching the sequential order.
+// lowest-index error is reported, matching the sequential order. A
+// panic escaping fn is recovered into a *LoopPanicError for its index —
+// the worker (and the sweep) survives it.
 func (s *Suite) forEach(n int, fn func(i int) error) error {
 	w := s.workers(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := guarded(fn, i); err != nil {
 				return err
 			}
 		}
@@ -150,7 +188,7 @@ func (s *Suite) forEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = guarded(fn, i)
 			}
 		}()
 	}
@@ -161,6 +199,21 @@ func (s *Suite) forEach(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// guarded runs fn(i), converting a panic into a *LoopPanicError so a
+// worker goroutine never dies.
+func guarded(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &LoopPanicError{
+				Loop:      fmt.Sprintf("index %d", i),
+				Recovered: r,
+				Stack:     debug.Stack(),
+			}
+		}
+	}()
+	return fn(i)
 }
 
 // Size returns the number of loops.
@@ -231,6 +284,15 @@ func (s *Suite) Configure(name core.SchedulerName, cfg sched.Config) {
 // Runs schedules every loop with the given policy (cached), fanning the
 // independent compilations out over the worker pool.
 func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
+	return s.RunsContext(context.Background(), name)
+}
+
+// RunsContext is Runs under a context: cancellation and any
+// sched.Budget in the policy's Config bound every per-loop compilation.
+// Per-loop failures — budget exhaustion, a panic in the compiler, an
+// internal error — land in that loop's Run.Err and never abort the
+// sweep; only workload-level failures (Infos) return an error.
+func (s *Suite) RunsContext(ctx context.Context, name core.SchedulerName) ([]Run, error) {
 	if rs, ok := s.runs[name]; ok {
 		return rs, nil
 	}
@@ -241,22 +303,7 @@ func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
 	cfg := s.cfgs[name]
 	rs := make([]Run, len(infos))
 	err = s.forEach(len(infos), func(i int) error {
-		info := infos[i]
-		c, err := core.Compile(info.Loop, core.Options{
-			Scheduler:   name,
-			Config:      cfg,
-			SkipCodegen: true,
-		})
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", name, info.Name, err)
-		}
-		r := Run{Info: info, OK: c.OK(), II: c.Result.II(), Stats: c.Result.Stats}
-		if c.OK() {
-			r.MaxLive = c.RR.MaxLive
-			r.MinAvg = c.MinAvg
-			r.ICR = c.ICR
-		}
-		rs[i] = r
+		rs[i] = s.runOne(ctx, name, cfg, infos[i])
 		return nil
 	})
 	if err != nil {
@@ -264,6 +311,80 @@ func (s *Suite) Runs(name core.SchedulerName) ([]Run, error) {
 	}
 	s.runs[name] = rs
 	return rs, nil
+}
+
+// runOne compiles one loop for one policy, recovering panics and
+// recording failures in the Run rather than propagating them.
+func (s *Suite) runOne(ctx context.Context, name core.SchedulerName, cfg sched.Config, info *LoopInfo) (run Run) {
+	run = Run{Info: info}
+	defer func() {
+		if r := recover(); r != nil {
+			run.OK = false
+			run.Err = &LoopPanicError{Loop: info.Name, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	if s.Metrics {
+		m := &sched.Metrics{}
+		if prev := cfg.Observer; prev != nil {
+			cfg.Observer = multiObserver{prev, m}
+		} else {
+			cfg.Observer = m
+		}
+		run.Metrics = m
+	}
+	c, err := core.CompileContext(ctx, info.Loop, core.Options{
+		Scheduler:   name,
+		Config:      cfg,
+		SkipCodegen: true,
+		Degrade:     s.Degrade,
+	})
+	if err != nil && !errors.Is(err, sched.ErrInfeasible) {
+		// Budget exhaustion or an internal failure: this loop's record
+		// only. The partial evidence (last II, effort) is kept when the
+		// compiler returned it.
+		run.Err = fmt.Errorf("%s/%s: %w", name, info.Name, err)
+		if c != nil && c.Result != nil {
+			run.II = c.Result.II()
+			run.Stats = c.Result.Stats
+		}
+		return run
+	}
+	run.OK = c.OK()
+	run.II = c.Result.II()
+	run.Stats = c.Result.Stats
+	run.Degraded = c.Degraded
+	if c.OK() {
+		run.MaxLive = c.RR.MaxLive
+		run.MinAvg = c.MinAvg
+		run.ICR = c.ICR
+	}
+	return run
+}
+
+// multiObserver chains observers for one run.
+type multiObserver []sched.Observer
+
+func (m multiObserver) Event(e sched.Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// MergeMetrics folds the per-loop metrics of a sweep in loop order —
+// deterministic regardless of the worker pool that produced them. It
+// returns nil when the suite did not collect metrics.
+func MergeMetrics(rs []Run) *sched.Metrics {
+	var out *sched.Metrics
+	for _, r := range rs {
+		if r.Metrics == nil {
+			continue
+		}
+		if out == nil {
+			out = &sched.Metrics{}
+		}
+		out.Merge(r.Metrics)
+	}
+	return out
 }
 
 // pressures collects MaxLive over successful runs.

@@ -6,9 +6,31 @@
 // code — plus a differential verifier that executes the generated kernel
 // on the cycle-accurate simulator and compares it against the sequential
 // reference interpreter.
+//
+// # Public API surface and stability
+//
+// The stable entry points are CompileContext (and its background-context
+// wrapper Compile), the scheduler registry (Register, Lookup,
+// Schedulers), and VerifyExecution. Scheduling policies are looked up by
+// SchedulerName in a registry the four built-ins populate at init time,
+// so new policies plug in without core edits. Failures are typed and
+// matchable with errors.Is / errors.As:
+//
+//   - core.ErrUnknownScheduler — Options.Scheduler has no registration;
+//   - sched.ErrInfeasible — the II ceiling was exhausted (carried by a
+//     *sched.InfeasibleError; the partial *Compiled is still returned);
+//   - sched.ErrBudgetExhausted — the sched.Budget or context ran out
+//     (carried by a *sched.BudgetError with the effort evidence).
+//
+// With Options.Degrade set, a budget-exhausted compilation falls back to
+// the no-backtracking list scheduler so callers still receive a feasible
+// (if suboptimal) kernel; the result is marked Degraded and retains the
+// triggering BudgetErr.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/codegen"
@@ -22,22 +44,6 @@ import (
 	"repro/internal/vliw"
 )
 
-// SchedulerName selects a scheduling policy.
-type SchedulerName string
-
-// The available schedulers.
-const (
-	SchedSlack    SchedulerName = "slack" // the paper's bidirectional slack scheduler
-	SchedSlackUni SchedulerName = "slack-unidirectional"
-	SchedCydrome  SchedulerName = "cydrome" // the baseline "Old Scheduler"
-	SchedList     SchedulerName = "list"    // no-backtracking list scheduler
-)
-
-// Schedulers lists every policy name, paper's first.
-func Schedulers() []SchedulerName {
-	return []SchedulerName{SchedSlack, SchedSlackUni, SchedCydrome, SchedList}
-}
-
 // Options configures a compilation.
 type Options struct {
 	Scheduler SchedulerName // default SchedSlack
@@ -46,6 +52,12 @@ type Options struct {
 	// (the benchmark harness schedules thousands of loops and does not
 	// need kernels for most experiments).
 	SkipCodegen bool
+	// Degrade falls back to the no-backtracking list scheduler when the
+	// configured scheduler exhausts its sched.Budget, so a budgeted
+	// caller still gets a feasible (if suboptimal) kernel. The fallback
+	// runs without a budget (the list scheduler's work is bounded) but
+	// still honors context cancellation; the result is marked Degraded.
+	Degrade bool
 }
 
 // Compiled is the result of compiling one loop.
@@ -61,36 +73,62 @@ type Compiled struct {
 
 	// Kernel is the generated code (nil when SkipCodegen or failure).
 	Kernel *codegen.Kernel
+
+	// Degraded reports that the configured scheduler exhausted its
+	// budget and Result came from the list-scheduler fallback
+	// (Options.Degrade); BudgetErr is the exhaustion that triggered it.
+	Degraded  bool
+	BudgetErr *sched.BudgetError
 }
 
 // OK reports whether a feasible schedule was found.
 func (c *Compiled) OK() bool { return c.Result != nil && c.Result.OK() }
 
-// Compile schedules the loop and, by default, generates kernel code.
+// Compile is CompileContext with a background context and the legacy
+// give-up contract: an infeasible loop (II ceiling exhausted) returns
+// (c, nil) with c.OK() false rather than an ErrInfeasible, matching the
+// paper's Table 4 convention of tabulating failures as data. All other
+// errors — including budget exhaustion — pass through unchanged.
 func Compile(l *ir.Loop, opt Options) (*Compiled, error) {
+	c, err := CompileContext(context.Background(), l, opt)
+	if errors.Is(err, sched.ErrInfeasible) && c != nil {
+		err = nil
+	}
+	return c, err
+}
+
+// CompileContext schedules the loop and, by default, generates kernel
+// code. The context and Options.Config.Budget bound the scheduling
+// search (see sched.Scheduler.ScheduleContext); on exhaustion the error
+// matches sched.ErrBudgetExhausted unless Options.Degrade rescues the
+// compilation with the list scheduler. When scheduling fails with
+// ErrInfeasible or ErrBudgetExhausted, the returned *Compiled is still
+// non-nil and carries the partial sched.Result as evidence.
+func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, error) {
 	if opt.Scheduler == "" {
 		opt.Scheduler = SchedSlack
 	}
-	var (
-		res *sched.Result
-		err error
-	)
-	switch opt.Scheduler {
-	case SchedSlack:
-		res, err = sched.Slack(opt.Config).Schedule(l)
-	case SchedSlackUni:
-		res, err = sched.SlackUnidirectional(opt.Config).Schedule(l)
-	case SchedCydrome:
-		res, err = sched.Cydrome(opt.Config).Schedule(l)
-	case SchedList:
-		res, err = sched.ListSchedule(l, opt.Config)
-	default:
-		return nil, fmt.Errorf("core: unknown scheduler %q", opt.Scheduler)
+	factory, ok := Lookup(opt.Scheduler)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheduler, opt.Scheduler, Schedulers())
+	}
+	res, err := factory(opt.Config).Schedule(ctx, l)
+	var c *Compiled
+	if res != nil {
+		c = &Compiled{Loop: l, Result: res, GPRs: l.GPRCount()}
 	}
 	if err != nil {
-		return nil, err
+		var be *sched.BudgetError
+		if errors.As(err, &be) && opt.Degrade && opt.Scheduler != SchedList && ctx.Err() == nil {
+			res, err = degrade(ctx, l, opt, be)
+			if err != nil {
+				return c, err
+			}
+			c = &Compiled{Loop: l, Result: res, GPRs: l.GPRCount(), Degraded: true, BudgetErr: be}
+		} else {
+			return c, err
+		}
 	}
-	c := &Compiled{Loop: l, Result: res, GPRs: l.GPRCount()}
 	if !res.OK() {
 		return c, nil
 	}
@@ -116,6 +154,35 @@ func Compile(l *ir.Loop, opt Options) (*Compiled, error) {
 		c.Kernel = k
 	}
 	return c, nil
+}
+
+// degrade runs the no-backtracking list scheduler after be exhausted
+// the configured scheduler's budget. The fallback is unbudgeted — the
+// list scheduler performs a bounded amount of work per II and never
+// backtracks — but keeps the caller's observers informed via an
+// EvDegraded event, and the context still cancels it. An infeasible
+// fallback reports the original budget error: the budgeted scheduler's
+// verdict is the more meaningful one.
+func degrade(ctx context.Context, l *ir.Loop, opt Options, be *sched.BudgetError) (*sched.Result, error) {
+	cfg := opt.Config
+	cfg.Budget = sched.Budget{}
+	if obs := cfg.EventSink(); obs != nil {
+		obs.Event(sched.Event{
+			Kind:   sched.EvDegraded,
+			Loop:   l.Name,
+			Policy: be.Policy,
+			II:     be.LastII,
+			Op:     -1,
+		})
+	}
+	res, err := sched.ListScheduleContext(ctx, l, cfg)
+	if err != nil && !errors.Is(err, sched.ErrInfeasible) {
+		return res, err
+	}
+	if res == nil || !res.OK() {
+		return res, be
+	}
+	return res, nil
 }
 
 // VerifyExecution runs the generated kernel on the VLIW simulator and

@@ -46,12 +46,14 @@ func (e *ErrInfeasible) Error() string {
 
 // Compute builds the MinDist table for the loop at the given II.
 func Compute(l *ir.Loop, ii int) (*Table, error) {
-	return computeInto(l, ii, nil)
+	return computeInto(l, ii, nil, nil)
 }
 
 // computeInto is Compute with an optional table whose backing store is
-// reused when it fits (the scheduler retries the same loop at many IIs).
-func computeInto(l *ir.Loop, ii int, reuse *Table) (*Table, error) {
+// reused when it fits (the scheduler retries the same loop at many IIs)
+// and an optional stop poll (see Cache.SetStop) consulted once per
+// Floyd–Warshall pivot.
+func computeInto(l *ir.Loop, ii int, reuse *Table, poll func() bool) (*Table, error) {
 	if !l.Finalized() {
 		panic("mindist: loop not finalized")
 	}
@@ -91,6 +93,9 @@ func computeInto(l *ir.Loop, ii int, reuse *Table) (*Table, error) {
 
 	// Floyd–Warshall, maximizing.
 	for k := 0; k < w; k++ {
+		if poll != nil && k%stopCheckStride == 0 && poll() {
+			return nil, ErrStopped
+		}
 		rowK := t.d[k*w : (k+1)*w]
 		for x := 0; x < w; x++ {
 			dxk := t.d[at(x, k)]

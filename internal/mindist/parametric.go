@@ -34,6 +34,16 @@ const DefaultFrontierCap = 12
 // cap; callers should fall back to Compute.
 var ErrTooComplex = errors.New("mindist: Pareto frontier exceeds cap")
 
+// ErrStopped reports that a stop poll (Cache.SetStop) asked a
+// long-running MinDist construction to abandon its work — the
+// scheduler's budget plumbing, so a deadline bounds even the O(n³)
+// analyses.
+var ErrStopped = errors.New("mindist: computation stopped by the caller")
+
+// stopCheckStride is how many Floyd–Warshall pivots run between stop
+// polls: the poll reads the clock, so it stays off the inner loops.
+const stopCheckStride = 8
+
 // pathPair is one Pareto-optimal (Σlatency, Σω) over the paths between a
 // pair of ops; its cost at a given II is lat − omega·II.
 type pathPair struct {
@@ -85,6 +95,12 @@ func insertPair(set []pathPair, p pathPair) []pathPair {
 // ErrTooComplex when any frontier would exceed frontierCap (≤ 0 means
 // DefaultFrontierCap).
 func NewParametric(l *ir.Loop, frontierCap int) (*Parametric, error) {
+	return newParametric(l, frontierCap, nil)
+}
+
+// newParametric is NewParametric with an optional stop poll consulted
+// once per Floyd–Warshall pivot.
+func newParametric(l *ir.Loop, frontierCap int, poll func() bool) (*Parametric, error) {
 	if !l.Finalized() {
 		panic("mindist: loop not finalized")
 	}
@@ -112,6 +128,9 @@ func NewParametric(l *ir.Loop, frontierCap int) (*Parametric, error) {
 
 	// Floyd–Warshall over frontiers, maximizing at every II at once.
 	for k := 0; k < w; k++ {
+		if poll != nil && k%stopCheckStride == 0 && poll() {
+			return nil, ErrStopped
+		}
 		for x := 0; x < w; x++ {
 			if x == k {
 				continue
@@ -187,19 +206,31 @@ type Cache struct {
 	par       *Parametric
 	parFailed bool
 	calls     int
+	stop      func() bool
 }
 
 // NewCache returns an empty cache for the loop.
 func NewCache(l *ir.Loop) *Cache { return &Cache{l: l} }
 
-// At returns the loop's MinDist table at ii, or ErrInfeasible.
+// SetStop installs a poll consulted periodically during table
+// construction; when it returns true the in-flight computation is
+// abandoned and At returns ErrStopped. A nil poll (the default)
+// disables the checks entirely. The scheduler wires its budget guard
+// here so deadlines bound even the O(n³) MinDist work.
+func (c *Cache) SetStop(stop func() bool) { c.stop = stop }
+
+// At returns the loop's MinDist table at ii, ErrInfeasible, or
+// ErrStopped when the stop poll fired.
 func (c *Cache) At(ii int) (*Table, error) {
 	c.calls++
 	if c.calls > 1 && c.par == nil && !c.parFailed {
-		p, err := NewParametric(c.l, DefaultFrontierCap)
-		if err != nil {
+		p, err := newParametric(c.l, DefaultFrontierCap, c.stop)
+		switch {
+		case err == ErrStopped:
+			return nil, err
+		case err != nil:
 			c.parFailed = true
-		} else {
+		default:
 			c.par = p
 		}
 	}
@@ -210,7 +241,7 @@ func (c *Cache) At(ii int) (*Table, error) {
 	if c.par != nil {
 		t, err = c.par.Instantiate(ii, c.buf)
 	} else {
-		t, err = computeInto(c.l, ii, c.buf)
+		t, err = computeInto(c.l, ii, c.buf, c.stop)
 	}
 	if err != nil {
 		return nil, err // c.buf keeps any previously allocated store

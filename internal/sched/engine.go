@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -38,8 +40,20 @@ type Config struct {
 	MaxII int
 	// StartII overrides the initial II (default: the loop's MII).
 	StartII int
-	// Trace, when non-nil, receives one line per central-loop event;
-	// used by tests and the CLI's -trace flag.
+	// Budget bounds the work of one Schedule call (wall clock, central
+	// iterations, II attempts); the zero value is unlimited. On
+	// exhaustion ScheduleContext returns a *BudgetError.
+	Budget Budget
+	// Observer, when non-nil, receives the typed event stream of the
+	// run (EvAttemptStart, EvPlace, EvForce, EvEject, EvRestart,
+	// EvAttemptEnd); see Observer and TextObserver.
+	Observer Observer
+	// Trace, when non-nil, receives one formatted line per central-loop
+	// placement event.
+	//
+	// Deprecated: use Observer; TextObserver reproduces this output
+	// byte-for-byte from the typed events. Trace remains wired (through
+	// an internal adapter) for existing callers.
 	Trace func(format string, args ...any)
 	// NoFastPaths disables the parametric MinDist cache and the
 	// incremental Estart/Lstart maintenance, recomputing both from
@@ -47,12 +61,6 @@ type Config struct {
 	// equivalent by differential tests; this knob exists for them and
 	// for perf attribution.
 	NoFastPaths bool
-}
-
-func (c Config) trace(format string, args ...any) {
-	if c.Trace != nil {
-		c.Trace(format, args...)
-	}
 }
 
 func (c Config) withDefaults() Config {
@@ -115,10 +123,37 @@ func New(policy Policy, cfg Config) *Scheduler {
 	return &Scheduler{policy: policy, cfg: cfg.withDefaults()}
 }
 
-// Schedule modulo schedules the loop: it tries II = MII first and, when
-// the heuristics give up, retries at increased II until success or the
-// II ceiling (Section 4.2).
+// Schedule modulo schedules the loop with a background context.
+//
+// For backward compatibility it keeps the legacy give-up contract:
+// exhausting the II ceiling returns (res, nil) with res.OK() false.
+// Budget exhaustion (only possible when Config.Budget is set) still
+// surfaces as a *BudgetError. New callers should prefer
+// ScheduleContext, whose error contract is uniform.
 func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
+	res, err := s.ScheduleContext(context.Background(), l)
+	if errors.Is(err, ErrInfeasible) {
+		err = nil
+	}
+	return res, err
+}
+
+// ScheduleContext modulo schedules the loop: it tries II = MII first
+// and, when the heuristics give up, retries at increased II until
+// success or the II ceiling (Section 4.2). The context and
+// Config.Budget are checked at every II-attempt boundary and every few
+// hundred central-loop iterations, so a hostile loop cannot hang the
+// caller.
+//
+// On success the error is nil. On failure the returned *Result is
+// still non-nil and carries the partial evidence (bounds, last II
+// attempted, effort counters), and the error is:
+//
+//   - a *InfeasibleError (errors.Is ErrInfeasible) when the II ceiling
+//     was exhausted;
+//   - a *BudgetError (errors.Is ErrBudgetExhausted; also the context
+//     error when canceled) when the budget or context ran out.
+func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, error) {
 	if !l.Finalized() {
 		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
 	}
@@ -138,12 +173,21 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 		maxII = s.autoMaxII(l, bounds)
 	}
 
+	guard := newBudgetGuard(ctx, s.cfg.Budget)
+	obs := s.cfg.EventSink()
+
 	// The cache computes the first II directly and answers retries from
 	// the parametric relation in O(n²), reusing one table's backing
 	// store throughout; res.MinDist therefore always holds the table at
-	// the final (achieved or last attempted) II.
+	// the final (achieved or last attempted) II. Under a budget the
+	// cache polls the guard so even MinDist construction is bounded.
 	cache := mindist.NewCache(l)
+	cache.SetStop(guard.stop())
 	for ii <= maxII {
+		if reason := guard.attemptExceeded(&res.Stats, res.Stats.IIAttempts); reason != "" {
+			res.Stats.Elapsed = time.Since(started)
+			return res, s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
+		}
 		res.Stats.IIAttempts++
 		mdStart := time.Now()
 		var md *mindist.Table
@@ -155,6 +199,14 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 		}
 		res.Stats.MinDistTime += time.Since(mdStart)
 		if err != nil {
+			if errors.Is(err, mindist.ErrStopped) {
+				reason := guard.exceeded(&res.Stats)
+				if reason == "" {
+					reason = ReasonDeadline
+				}
+				res.Stats.Elapsed = time.Since(started)
+				return res, s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
+			}
 			// II below RecMII (possible only with StartII misuse): step up.
 			res.FailedII = ii
 			ii = s.nextII(ii)
@@ -164,8 +216,27 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 		caStart := time.Now()
 		st := newState(l, ii, md)
 		st.noIncremental = s.cfg.NoFastPaths
-		ok := s.attempt(st, &res.Stats)
+		if obs != nil {
+			st.obs = obs
+			st.evt = Event{Loop: l.Name, Policy: s.policy.Name(), II: ii, Op: -1}
+			e := st.evt
+			e.Kind = EvAttemptStart
+			obs.Event(e)
+		}
+		ok, reason := s.attempt(st, &res.Stats, &guard, obs)
 		res.Stats.CentralTime += time.Since(caStart)
+		if obs != nil {
+			e := st.evt
+			e.Kind = EvAttemptEnd
+			e.OK = ok
+			e.Ejections = st.ejections
+			obs.Event(e)
+		}
+		if reason != "" {
+			res.FailedII = ii
+			res.Stats.Elapsed = time.Since(started)
+			return res, s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
+		}
 		if ok {
 			res.Schedule = st.mrt.Schedule()
 			res.Stats.Elapsed = time.Since(started)
@@ -173,10 +244,40 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 		}
 		res.Stats.Restarts++
 		res.FailedII = ii
+		if obs != nil {
+			e := st.evt
+			e.Kind = EvRestart
+			e.Ejections = st.ejections
+			obs.Event(e)
+		}
 		ii = s.nextII(ii)
 	}
 	res.Stats.Elapsed = time.Since(started)
-	return res, nil
+	return res, &InfeasibleError{
+		Loop:   l.Name,
+		Policy: s.policy.Name(),
+		MII:    bounds.MII,
+		MaxII:  maxII,
+		LastII: res.FailedII,
+		Stats:  res.Stats,
+	}
+}
+
+// budgetError builds the typed exhaustion error for the current state
+// of the search.
+func (s *Scheduler) budgetError(ctx context.Context, l *ir.Loop, reason string, b mii.Bounds, ii int, stats Stats) *BudgetError {
+	e := &BudgetError{
+		Loop:   l.Name,
+		Policy: s.policy.Name(),
+		Reason: reason,
+		MII:    b.MII,
+		LastII: ii,
+		Stats:  stats,
+	}
+	if reason == ReasonCanceled {
+		e.Cause = ctx.Err()
+	}
+	return e
 }
 
 // nextII implements the II increment policy of Section 4.2: by
@@ -208,10 +309,12 @@ func (s *Scheduler) autoMaxII(l *ir.Loop, b mii.Bounds) int {
 	return max
 }
 
-// attempt runs the central loop (Section 4.2) at one II. It returns true
-// on a complete schedule and false when the ejection budget is exhausted
-// (step 6) or, defensively, when the iteration cap trips.
-func (s *Scheduler) attempt(st *State, stats *Stats) bool {
+// attempt runs the central loop (Section 4.2) at one II. It returns
+// ok=true on a complete schedule and ok=false when the ejection budget
+// is exhausted (step 6) or, defensively, when the iteration cap trips;
+// a non-empty stopReason aborts the attempt because the caller's
+// Budget or context ran out.
+func (s *Scheduler) attempt(st *State, stats *Stats, g *budgetGuard, obs Observer) (ok bool, stopReason string) {
 	budget := st.n * s.cfg.EjectBudgetPerOp
 	if budget < s.cfg.MinEjectBudget {
 		budget = s.cfg.MinEjectBudget
@@ -222,10 +325,15 @@ func (s *Scheduler) attempt(st *State, stats *Stats) bool {
 	defer func() { stats.Ejections += int64(st.ejections) }()
 	for iter := 0; ; iter++ {
 		if st.allPlaced() {
-			return true
+			return true, ""
 		}
 		if iter > iterCap || st.ejections > budget {
-			return false
+			return false, ""
+		}
+		if g.active && iter%budgetCheckStride == 0 {
+			if reason := g.exceeded(stats); reason != "" {
+				return false, reason
+			}
 		}
 		stats.CentralIters++
 
@@ -268,7 +376,16 @@ func (s *Scheduler) attempt(st *State, stats *Stats) bool {
 			}
 		}
 
-		s.cfg.trace("iter %d: chose op%d estart=%d lstart=%d free=%d", iter, x, st.estart[x], st.lstart[x], cycle)
+		if obs != nil {
+			e := st.evt
+			e.Kind = EvPlace
+			e.Iter = iter
+			e.Op = x
+			e.Estart = st.estart[x]
+			e.Lstart = st.lstart[x]
+			e.Cycle = cycle
+			obs.Event(e)
+		}
 		if cycle == ir.Unplaced {
 			// Step 3: create room by ejection. Force the op into
 			// max(Estart, 1 + its last placement) — successively later
@@ -279,19 +396,27 @@ func (s *Scheduler) attempt(st *State, stats *Stats) bool {
 			if lp := st.lastPlace[x]; lp != ir.Unplaced && lp+1 > c {
 				c = lp + 1
 			}
-			ok := false
+			forced := false
 			for tries := 0; tries < 4*st.II+4; tries++ {
 				if s.forceAt(st, x, c) {
 					cycle = c
-					ok = true
+					forced = true
 					break
 				}
 				c++ // a victim was brtop: search successive cycles
 			}
-			if !ok {
-				return false // cannot avoid ejecting brtop: give up this II
+			if !forced {
+				return false, "" // cannot avoid ejecting brtop: give up this II
 			}
-			s.cfg.trace("  forced op%d at %d (ejections now %d)", x, cycle, st.ejections)
+			if obs != nil {
+				e := st.evt
+				e.Kind = EvForce
+				e.Iter = iter
+				e.Op = x
+				e.Cycle = cycle
+				e.Ejections = st.ejections
+				obs.Event(e)
+			}
 			st.place(x, cycle)
 		} else {
 			// Step 4: place the operation and update the resource table.

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -11,7 +13,19 @@ import (
 	"repro/internal/mrt"
 )
 
-// ListSchedule is a classic list scheduler adapted to the modulo
+// ListSchedule is ListScheduleContext with a background context and the
+// legacy give-up contract: exhausting the II ceiling returns (res, nil)
+// with res.OK() false. Budget exhaustion still surfaces as a
+// *BudgetError.
+func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
+	res, err := ListScheduleContext(context.Background(), l, cfg)
+	if errors.Is(err, ErrInfeasible) {
+		err = nil
+	}
+	return res, err
+}
+
+// ListScheduleContext is a classic list scheduler adapted to the modulo
 // constraint, with no backtracking: operations are placed in decreasing
 // height order (longest dependence path to Stop), each as early as
 // possible; if an operation has no feasible slot the whole attempt fails
@@ -21,8 +35,12 @@ import (
 // operation commits resources at every cycle t + k·II, so an op that
 // does not fit now may fit nowhere later, and "a list-scheduling compiler
 // is not likely to find a feasible schedule at MII when recurrence
-// circuits are present." The benchmark harness quantifies exactly that.
-func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
+// circuits are present." The benchmark harness quantifies exactly that —
+// and it is also the graceful-degradation fallback core.Compile uses
+// when a budgeted run of a backtracking scheduler exhausts its budget,
+// which is why it shares the context, Budget, typed-error, and Observer
+// contracts of Scheduler.ScheduleContext.
+func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, error) {
 	if !l.Finalized() {
 		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
 	}
@@ -40,8 +58,26 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 	}
 	n := len(l.Ops)
 
+	guard := newBudgetGuard(ctx, cfg.Budget)
+	obs := cfg.EventSink()
+	budgetStop := func(reason string, ii int) (*Result, error) {
+		res.Stats.Elapsed = time.Since(started)
+		e := &BudgetError{
+			Loop: l.Name, Policy: "list", Reason: reason,
+			MII: bounds.MII, LastII: ii, Stats: res.Stats,
+		}
+		if reason == ReasonCanceled {
+			e.Cause = ctx.Err()
+		}
+		return res, e
+	}
+
 	cache := mindist.NewCache(l)
+	cache.SetStop(guard.stop())
 	for ii := bounds.MII; ii <= maxII; ii++ {
+		if reason := guard.attemptExceeded(&res.Stats, res.Stats.IIAttempts); reason != "" {
+			return budgetStop(reason, ii)
+		}
 		res.Stats.IIAttempts++
 		mdStart := time.Now()
 		var md *mindist.Table
@@ -53,11 +89,24 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 		}
 		res.Stats.MinDistTime += time.Since(mdStart)
 		if err != nil {
+			if errors.Is(err, mindist.ErrStopped) {
+				reason := guard.exceeded(&res.Stats)
+				if reason == "" {
+					reason = ReasonDeadline
+				}
+				return budgetStop(reason, ii)
+			}
 			res.FailedII = ii
 			continue
 		}
 		res.MinDist = md
 
+		evt := Event{Loop: l.Name, Policy: "list", II: ii, Op: -1}
+		if obs != nil {
+			e := evt
+			e.Kind = EvAttemptStart
+			obs.Event(e)
+		}
 		caStart := time.Now()
 		// Height priority: longest path to Stop at this II.
 		order := make([]int, n)
@@ -79,7 +128,14 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 			times[i] = ir.Unplaced
 		}
 		ok := true
-		for _, x := range order {
+		stopReason := ""
+		for iter, x := range order {
+			if guard.active && iter%budgetCheckStride == 0 {
+				if reason := guard.exceeded(&res.Stats); reason != "" {
+					stopReason = reason
+					break
+				}
+			}
 			res.Stats.CentralIters++
 			// Earliest start from already-placed ops (both directions of
 			// the MinDist constraint must hold against each).
@@ -115,19 +171,55 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 					break
 				}
 			}
+			if obs != nil {
+				e := evt
+				e.Kind = EvPlace
+				e.Iter = iter
+				e.Op = x
+				e.Estart = lo
+				e.Lstart = limit
+				if placed {
+					e.Cycle = times[x]
+				} else {
+					e.Cycle = ir.Unplaced
+				}
+				obs.Event(e)
+			}
 			if !placed {
 				ok = false
 				break
 			}
 		}
 		res.Stats.CentralTime += time.Since(caStart)
+		if obs != nil {
+			e := evt
+			e.Kind = EvAttemptEnd
+			e.OK = ok && stopReason == ""
+			obs.Event(e)
+		}
+		if stopReason != "" {
+			res.FailedII = ii
+			return budgetStop(stopReason, ii)
+		}
 		if ok {
 			res.Schedule = table.Schedule()
 			res.Stats.Elapsed = time.Since(started)
 			return res, nil
 		}
 		res.FailedII = ii
+		if obs != nil {
+			e := evt
+			e.Kind = EvRestart
+			obs.Event(e)
+		}
 	}
 	res.Stats.Elapsed = time.Since(started)
-	return res, nil
+	return res, &InfeasibleError{
+		Loop:   l.Name,
+		Policy: "list",
+		MII:    bounds.MII,
+		MaxII:  maxII,
+		LastII: res.FailedII,
+		Stats:  res.Stats,
+	}
 }

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind enumerates the structured events of one scheduling run. The
+// stream for a given (loop, policy, Config) is deterministic: the
+// scheduler itself is deterministic, so two runs — serial or inside a
+// parallel sweep — produce byte-identical streams.
+type EventKind uint8
+
+// The event kinds, in the order the central loop can emit them.
+const (
+	// EvAttemptStart opens one II attempt (Event.II is the II tried).
+	EvAttemptStart EventKind = iota
+	// EvPlace reports step 1-2 of the central loop: an operation was
+	// chosen and its issue window scanned. Event.Cycle is the
+	// conflict-free cycle found, or ir.Unplaced when the scan failed
+	// (an EvForce follows if ejection succeeds).
+	EvPlace
+	// EvForce reports step 3: the operation was forced into Event.Cycle
+	// after ejecting its conflicts (the EvEject events precede it).
+	EvForce
+	// EvEject reports one operation leaving the partial schedule;
+	// Event.Cycle is the cycle it was ejected from.
+	EvEject
+	// EvRestart reports step 6: the attempt's ejection budget was
+	// exhausted and the scheduler moves to a higher II.
+	EvRestart
+	// EvAttemptEnd closes one II attempt; Event.OK reports success.
+	EvAttemptEnd
+	// EvDegraded reports that a budget-exhausted compilation fell back
+	// to the no-backtracking list scheduler (core.Options.Degrade).
+	EvDegraded
+
+	numEventKinds // count; keep last
+)
+
+// String returns the kind's stable wire name.
+func (k EventKind) String() string {
+	switch k {
+	case EvAttemptStart:
+		return "attempt-start"
+	case EvPlace:
+		return "place"
+	case EvForce:
+		return "force"
+	case EvEject:
+		return "eject"
+	case EvRestart:
+		return "restart"
+	case EvAttemptEnd:
+		return "attempt-end"
+	case EvDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one typed observation from a scheduling run. Loop, Policy and
+// II identify the attempt; the remaining fields are meaningful per kind
+// (see the EventKind constants).
+type Event struct {
+	Kind   EventKind
+	Loop   string
+	Policy string
+	II     int
+
+	Iter           int  // central-loop iteration within the attempt (EvPlace, EvForce)
+	Op             int  // operation index, or StopIndex; -1 when not applicable
+	Cycle          int  // issue cycle (EvPlace, EvForce, EvEject); ir.Unplaced for a failed scan
+	Estart, Lstart int  // the op's bounds when chosen (EvPlace)
+	Ejections      int  // ejections charged so far in this attempt (EvForce, EvEject, EvRestart, EvAttemptEnd)
+	OK             bool // EvAttemptEnd: the attempt produced a complete schedule
+}
+
+// Observer receives the typed event stream of a scheduling run. The
+// scheduler calls Event synchronously from its own goroutine; an
+// observer shared across concurrent Schedule calls must synchronize
+// itself (the bench harness instead uses one observer per loop and
+// merges deterministically).
+type Observer interface {
+	Event(Event)
+}
+
+// multiObserver fans one stream out to several observers.
+type multiObserver []Observer
+
+func (m multiObserver) Event(e Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// textObserver renders events in the legacy Config.Trace text format.
+type textObserver struct {
+	w io.Writer
+}
+
+// TextObserver returns an Observer that renders the event stream as the
+// legacy -trace text: one "iter N: chose opX ..." line per EvPlace, one
+// "  forced opX at C ..." line per EvForce, byte-compatible with what
+// Config.Trace produced, plus a line per EvDegraded (which the legacy
+// hook could never see). Other kinds render nothing.
+func TextObserver(w io.Writer) Observer { return textObserver{w} }
+
+func (t textObserver) Event(e Event) {
+	switch e.Kind {
+	case EvPlace:
+		fmt.Fprintf(t.w, "iter %d: chose op%d estart=%d lstart=%d free=%d\n",
+			e.Iter, e.Op, e.Estart, e.Lstart, e.Cycle)
+	case EvForce:
+		fmt.Fprintf(t.w, "  forced op%d at %d (ejections now %d)\n",
+			e.Op, e.Cycle, e.Ejections)
+	case EvDegraded:
+		fmt.Fprintf(t.w, "degraded: %s budget exhausted at II=%d, falling back to list scheduling\n",
+			e.Policy, e.II)
+	}
+}
+
+// traceObserver adapts the deprecated Config.Trace hook to the event
+// stream, preserving the exact legacy format strings and arguments.
+type traceObserver struct {
+	f func(format string, args ...any)
+}
+
+func (t traceObserver) Event(e Event) {
+	switch e.Kind {
+	case EvPlace:
+		t.f("iter %d: chose op%d estart=%d lstart=%d free=%d",
+			e.Iter, e.Op, e.Estart, e.Lstart, e.Cycle)
+	case EvForce:
+		t.f("  forced op%d at %d (ejections now %d)", e.Op, e.Cycle, e.Ejections)
+	}
+}
+
+// EventSink resolves the configuration's effective observer: Observer,
+// the deprecated Trace hook (adapted to the legacy text format), both
+// chained, or nil when the run is unobserved — the engine's fast path.
+func (c Config) EventSink() Observer {
+	if c.Trace == nil {
+		return c.Observer
+	}
+	t := traceObserver{c.Trace}
+	if c.Observer == nil {
+		return t
+	}
+	return multiObserver{c.Observer, t}
+}

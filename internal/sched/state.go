@@ -61,6 +61,9 @@ type State struct {
 	noIncremental  bool   // force the full recompute (differential testing)
 	scratch        []bool // forceAt dedup scratch, n+1 wide, false between calls
 	victimBuf      []int  // forceAt victim accumulator, reused across calls
+
+	obs Observer // event sink, or nil (the unobserved fast path)
+	evt Event    // template with Loop/Policy/II prefilled by the engine
 }
 
 // StopIndex returns the index representing the Stop pseudo-op, which is
@@ -403,6 +406,14 @@ func (st *State) place(x, cycle int) {
 // itself witnessed, so a targeted repair keeps the invariant without a
 // full recomputation.
 func (st *State) eject(x int) {
+	if st.obs != nil {
+		e := st.evt
+		e.Kind = EvEject
+		e.Op = x
+		e.Cycle = st.time[x]
+		e.Ejections = st.ejections + 1
+		st.obs.Event(e)
+	}
 	if x < st.n {
 		st.mrt.Eject(st.L.Ops[x])
 	}
