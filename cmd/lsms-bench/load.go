@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/loopgen"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// loadOptions configures the load-generator mode (-server).
+type loadOptions struct {
+	Server      string        // base URL of a running lsmsd
+	Requests    int           // total requests to issue
+	Concurrency int           // concurrent client workers
+	Scheduler   string        // scheduling policy to request
+	Deadline    time.Duration // per-request deadline carried in the wire options
+	Size        int           // corpus size (loopgen)
+	Seed        int64         // corpus seed
+}
+
+// loadResult is one request's observation.
+type loadResult struct {
+	status  int
+	cache   string // X-Lsmsd-Cache: hit, miss, dedup, or ""
+	latency time.Duration
+	err     error
+}
+
+// runLoad replays the fixture/loopgen corpus against a running lsmsd
+// and reports throughput, latency quantiles, status counts, and the
+// cache/dedup split. The corpus is wire-encoded once up front so the
+// measured latency is pure client→server round trip.
+func runLoad(opt loadOptions) error {
+	suite, err := loopgen.Build(loopgen.Options{Size: opt.Size, Seed: opt.Seed})
+	if err != nil {
+		return fmt.Errorf("building corpus: %w", err)
+	}
+	wopt := wire.Options{}
+	if opt.Deadline > 0 {
+		wopt.DeadlineMS = opt.Deadline.Milliseconds()
+	}
+	bodies := make([][]byte, 0, len(suite.Loops))
+	for _, l := range suite.Loops {
+		req, err := wire.NewRequest(l.CL.Loop, opt.Scheduler, wopt)
+		if err != nil {
+			return fmt.Errorf("encoding %s: %w", l.Name, err)
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("marshalling %s: %w", l.Name, err)
+		}
+		bodies = append(bodies, b)
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = len(bodies)
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 8
+	}
+	url := strings.TrimRight(opt.Server, "/") + "/v1/compile"
+	fmt.Printf("load: %d requests over %d distinct loops, %d workers → %s\n",
+		opt.Requests, len(bodies), opt.Concurrency, url)
+
+	client := &http.Client{}
+	results := make([]loadResult, opt.Requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opt.Requests {
+					return
+				}
+				results[i] = shoot(client, url, bodies[i%len(bodies)])
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	return reportLoad(results, wall)
+}
+
+// shoot issues one compile request and records its observation.
+func shoot(client *http.Client, url string, body []byte) loadResult {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return loadResult{err: err, latency: time.Since(t0)}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return loadResult{
+		status:  resp.StatusCode,
+		cache:   resp.Header.Get("X-Lsmsd-Cache"),
+		latency: time.Since(t0),
+	}
+}
+
+// reportLoad prints throughput, latency quantiles (overall and for the
+// cache-miss population, the one that actually scheduled), and the
+// status / cache-state breakdowns.
+func reportLoad(results []loadResult, wall time.Duration) error {
+	var lats, missLats []int // microseconds
+	statuses := map[int]int{}
+	caches := map[string]int{}
+	errs := 0
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			errs++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		lats = append(lats, int(r.latency.Microseconds()))
+		statuses[r.status]++
+		if r.cache != "" {
+			caches[r.cache]++
+		}
+		if r.cache == "miss" {
+			missLats = append(missLats, int(r.latency.Microseconds()))
+		}
+	}
+	done := len(results) - errs
+	fmt.Printf("load: %d responses in %v (%.1f req/s), %d transport error(s)\n",
+		done, wall.Round(time.Millisecond), float64(done)/wall.Seconds(), errs)
+	if errs > 0 {
+		return fmt.Errorf("transport: %w", firstErr)
+	}
+
+	printQuants := func(label string, xs []int) {
+		if len(xs) == 0 {
+			return
+		}
+		q := stats.Quants(xs)
+		fmt.Printf("latency %-10s (µs, n=%d): min %d  p50 %d  p90 %d  max %d\n",
+			label, len(xs), q.Min, q.P50, q.P90, q.Max)
+	}
+	printQuants("all", lats)
+	printQuants("cache-miss", missLats)
+
+	codes := make([]int, 0, len(statuses))
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	var parts []string
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d×%d", c, statuses[c]))
+	}
+	fmt.Printf("status: %s\n", strings.Join(parts, "  "))
+	fmt.Printf("cache:  hit=%d miss=%d dedup=%d\n", caches["hit"], caches["miss"], caches["dedup"])
+	return nil
+}

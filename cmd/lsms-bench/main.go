@@ -10,6 +10,14 @@
 // Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
 // headline ablation regalloc iistep expansion predshare straightline
 // latencies perf metrics all
+//
+// With -server it instead becomes a load generator for a running lsmsd:
+// the corpus is wire-encoded and replayed over -concurrency workers,
+// reporting throughput, latency quantiles, and the cache/dedup split.
+//
+//	lsms-bench -server http://localhost:8577 [-requests N]
+//	           [-concurrency 8] [-scheduler slack] [-deadline 0]
+//	           [-size 200] [-seed 1993]
 package main
 
 import (
@@ -35,7 +43,28 @@ func main() {
 	noFast := flag.Bool("nofastpaths", false, "disable parametric MinDist reuse and incremental bounds (perf attribution baseline)")
 	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
 	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its deadline")
+	serverURL := flag.String("server", "", "lsmsd base URL; switches to load-generator mode")
+	requests := flag.Int("requests", 0, "load mode: total requests to issue (0 = one per corpus loop)")
+	concurrency := flag.Int("concurrency", 8, "load mode: concurrent client workers")
+	scheduler := flag.String("scheduler", "slack", "load mode: scheduling policy to request")
 	flag.Parse()
+
+	if *serverURL != "" {
+		n := *size
+		if n == 1525 {
+			n = 200 // load mode defaults to a lighter corpus than the paper sweep
+		}
+		check(runLoad(loadOptions{
+			Server:      *serverURL,
+			Requests:    *requests,
+			Concurrency: *concurrency,
+			Scheduler:   *scheduler,
+			Deadline:    *deadline,
+			Size:        n,
+			Seed:        *seed,
+		}))
+		return
+	}
 
 	wants := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

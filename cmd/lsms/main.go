@@ -11,6 +11,11 @@
 //	     [-dump ir,sched,kernel,pressure]
 //	     [-trace] [-deadline 0] [-degrade] file.f
 //
+// With -emit json, lsms does not schedule: it prints each eligible
+// loop's canonical wire-format compile request (lsms-wire/1) as one
+// JSON line on stdout — ready to POST to lsmsd's /v1/compile — and the
+// loop's content hash (the service's cache key) on stderr.
+//
 // Exit codes map the typed compilation errors so scripts can tell the
 // failure modes apart:
 //
@@ -35,6 +40,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/frontend"
@@ -42,6 +48,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/viz"
+	"repro/internal/wire"
 )
 
 // The documented exit codes.
@@ -62,6 +69,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the scheduler's per-iteration trace before each loop's report")
 	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
 	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its -deadline")
+	emit := flag.String("emit", "", `emit "json": print each eligible loop's canonical wire request instead of scheduling`)
 	flag.Parse()
 
 	var m *machine.Desc
@@ -92,6 +100,14 @@ func main() {
 	if err != nil {
 		fatalf("compile: %v", err)
 	}
+
+	if *emit != "" {
+		if *emit != "json" {
+			fatalf("unknown -emit format %q (supported: json)", *emit)
+		}
+		os.Exit(emitWire(loops, *schedName, *deadline, *degrade))
+	}
+
 	fmt.Printf("subroutine %s: %d innermost loop(s)\n", unit.Prog.Name, len(loops))
 
 	wants := map[string]bool{}
@@ -211,6 +227,37 @@ func main() {
 	if exit != exitOK {
 		os.Exit(exit)
 	}
+}
+
+// emitWire prints each eligible loop's canonical wire request as one
+// JSON line on stdout and its content hash on stderr. Ineligible loops
+// are reported on stderr and degrade the exit code to exitGeneric; the
+// JSON stream stays clean either way.
+func emitWire(loops []*frontend.CompiledLoop, scheduler string, deadline time.Duration, degrade bool) int {
+	opt := wire.OptionsFrom(sched.Config{Budget: sched.Budget{Deadline: deadline}}, degrade)
+	code := exitOK
+	for i, cl := range loops {
+		if cl.Ineligible != nil {
+			fmt.Fprintf(os.Stderr, "lsms: loop %d (line %d) not modulo-schedulable: %v\n", i+1, cl.Do.Pos(), cl.Ineligible)
+			code = exitGeneric
+			continue
+		}
+		req, err := wire.NewRequest(cl.Loop, scheduler, opt)
+		if err != nil {
+			fatalf("loop %d: %v", i+1, err)
+		}
+		b, err := req.Canonical()
+		if err != nil {
+			fatalf("loop %d: %v", i+1, err)
+		}
+		hash, err := req.Hash()
+		if err != nil {
+			fatalf("loop %d: %v", i+1, err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		fmt.Fprintf(os.Stderr, "lsms: loop %d (line %d): %s\n", i+1, cl.Do.Pos(), hash)
+	}
+	return code
 }
 
 // compileAll runs fn(i) for every loop index over a bounded worker pool.

@@ -1,0 +1,93 @@
+// Command lsmsd serves modulo-scheduling compilations over HTTP: the
+// governed pipeline (core.CompileContext + sched.Budget) behind a
+// bounded worker pool with admission control, a content-addressed
+// result cache, singleflight deduplication, and graceful shutdown.
+//
+// Usage:
+//
+//	lsmsd [-addr :8577] [-workers N] [-queue 64] [-cache 1024]
+//	      [-default-deadline 30s] [-max-deadline 2m] [-retry-after 1s]
+//
+// Endpoints (see README "Running the service"):
+//
+//	POST /v1/compile    — wire.Request (mini-FORTRAN source or IR form)
+//	GET  /v1/schedulers — registered scheduling policies
+//	GET  /healthz       — liveness and pool occupancy
+//	GET  /metrics       — Prometheus-style counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, new
+// compiles get 503, and in-flight compiles drain (up to -drain-timeout)
+// before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8577", "listen address")
+	workers := flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the workers (-1 = none)")
+	cache := flag.Int("cache", 1024, "result-cache entries (-1 disables caching)")
+	defDeadline := flag.Duration("default-deadline", 30*time.Second, "deadline applied to requests that carry none (-1ns = unbudgeted)")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on any requested deadline")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight compiles")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		RetryAfter:      *retryAfter,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("lsmsd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	case sig := <-sigc:
+		fmt.Printf("lsmsd: %v — draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Close the listener and let active handlers finish, then wait for
+	// the app-level drain (compiles started before the signal).
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "lsmsd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fatalf("drain: %v", err)
+	}
+	fmt.Println("lsmsd: drained cleanly")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lsmsd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package sched
+
+import "sync"
+
+// SafeMetrics is a mutex-guarded Metrics for observers shared across
+// concurrent scheduling runs. The bench harness avoids the lock by
+// giving each loop its own Metrics and merging in loop order — an
+// assumption that holds for a sweep over a fixed corpus but not for a
+// server folding many simultaneous per-request event streams into one
+// live aggregate. SafeMetrics trades the per-event lock for that
+// use case; totals remain exact (each event is counted once), though
+// of course the interleaving across requests is not deterministic.
+type SafeMetrics struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+// Event implements Observer; safe for concurrent use.
+func (s *SafeMetrics) Event(e Event) {
+	s.mu.Lock()
+	s.m.Event(e)
+	s.mu.Unlock()
+}
+
+// Merge folds a (quiescent) per-run Metrics into the aggregate.
+func (s *SafeMetrics) Merge(other *Metrics) {
+	s.mu.Lock()
+	s.m.Merge(other)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current aggregate, safe to read while
+// other goroutines keep feeding events.
+func (s *SafeMetrics) Snapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU of serialized compile
+// responses, keyed by the request's canonical wire hash. Values are
+// the exact response bytes (plus status), so a hit replays the
+// original response byte-identically; only deterministic outcomes are
+// admitted (see outcome.cacheable).
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	status int
+	body   []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key string) (status int, body []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return 0, nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.status, e.body, true
+}
+
+// add stores a response, evicting the least recently used entry when
+// the cache is full. A max of 0 disables caching.
+func (c *resultCache) add(key string, status int, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.status, e.body = status, body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, status: status, body: body})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached responses.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

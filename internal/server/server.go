@@ -1,0 +1,478 @@
+// Package server implements lsmsd's HTTP service: modulo-scheduling
+// compilation as admission-controlled, cached, observable traffic on
+// top of the governed pipeline (core.CompileContext + sched.Budget).
+//
+// Endpoints:
+//
+//	POST /v1/compile    — compile one loop (wire.Request: source or IR form)
+//	GET  /v1/schedulers — the registered scheduling policies
+//	GET  /healthz       — liveness and pool occupancy
+//	GET  /metrics       — Prometheus-style counters, including the
+//	                      folded scheduler event stream
+//
+// Request handling is three-tiered: a content-addressed LRU cache of
+// serialized responses (keyed by the canonical wire hash) answers
+// repeats without scheduling at all; a singleflight group collapses
+// concurrent identical requests into one compilation whose response
+// bytes every waiter shares; everything else passes admission control —
+// a non-blocking queue semaphore that rejects overload with 429 +
+// Retry-After, then a worker semaphore that bounds concurrent
+// compiles. Per-request deadlines map onto sched.Budget, panics are
+// isolated per request (mirroring bench.LoopPanicError), and Shutdown
+// drains in-flight compiles before returning.
+//
+// Error mapping (also in README "Running the service"):
+//
+//	400 bad-request / unknown-scheduler — malformed wire document,
+//	     unknown machine, or unregistered policy
+//	422 infeasible — the II ceiling was exhausted (deterministic
+//	     verdict; cacheable, carries bounds + last II as evidence)
+//	429 overloaded — admission queue full; Retry-After is set
+//	500 panic / internal — isolated per-request failure
+//	503 shutting-down — the server is draining
+//	504 budget-exhausted — the per-request deadline or work cap ran
+//	     out (carries the sched.BudgetError evidence; never cached)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// Config tunes the service; the zero value gets sensible defaults.
+type Config struct {
+	// Workers bounds concurrent compiles; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-waiting requests; default 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache; default 1024, negative
+	// disables caching.
+	CacheEntries int
+	// DefaultDeadline applies when a request carries no deadline_ms;
+	// default 30s, negative means unbudgeted.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps any requested deadline; default 2m.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 429; default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body; default 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the compilation service. Create with New, mount Handler,
+// and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	adm     *admission
+	cache   *resultCache
+	flights *flightGroup
+	sm      *sched.SafeMetrics
+	started time.Time
+	gate    *drainGate
+
+	// Counters exposed by /metrics.
+	requests        atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	deduped         atomic.Int64
+	rejected        atomic.Int64
+	panics          atomic.Int64
+	compileOK       atomic.Int64
+	compileDegraded atomic.Int64
+	infeasible      atomic.Int64
+	budgetExhausted atomic.Int64
+	badRequests     atomic.Int64
+	internalErrors  atomic.Int64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		sm:      &sched.SafeMetrics{},
+		started: time.Now(),
+		gate:    newDrainGate(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admitting new compiles (they get 503) and waits for
+// in-flight ones to drain, or for ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gate.beginDrain()
+	select {
+	case <-s.gate.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with %d request(s) in flight: %w",
+			s.gate.inFlight(), ctx.Err())
+	}
+}
+
+// Metrics returns a snapshot of the folded scheduler event stream.
+func (s *Server) Metrics() sched.Metrics { return s.sm.Snapshot() }
+
+// CacheLen reports how many responses the result cache holds.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if !s.gate.enter() {
+		s.writeError(w, http.StatusServiceUnavailable, &wire.Error{
+			Kind: wire.ErrKindShuttingDown, Message: "server is draining",
+		}, "")
+		return
+	}
+	defer s.gate.exit()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		s.badRequest(w, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.badRequest(w, fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	var req wire.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.badRequest(w, fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	norm, loop, err := req.Normalize()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	schedName := norm.Scheduler
+	if schedName == "" {
+		schedName = string(core.SchedSlack)
+	}
+	if _, ok := core.Lookup(core.SchedulerName(schedName)); !ok {
+		s.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, &wire.Error{
+			Kind:    wire.ErrKindUnknownScheduler,
+			Message: fmt.Sprintf("unknown scheduler %q (registered: %v)", schedName, core.Schedulers()),
+		}, "")
+		return
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+
+	// Tier 1: the content-addressed result cache.
+	if status, cached, ok := s.cache.get(hash); ok {
+		s.cacheHits.Add(1)
+		s.writeRaw(w, status, cached, "hit")
+		return
+	}
+	s.cacheMisses.Add(1)
+
+	// Tier 2: singleflight — concurrent identical requests share one
+	// compilation and its response bytes.
+	c, leader := s.flights.join(hash)
+	if !leader {
+		s.deduped.Add(1)
+		select {
+		case <-c.done:
+			s.writeRaw(w, c.out.status, c.out.body, "dedup")
+		case <-r.Context().Done():
+			s.writeError(w, http.StatusServiceUnavailable, &wire.Error{
+				Kind: wire.ErrKindInternal, Message: "client canceled while waiting for a duplicate in-flight compile",
+			}, "")
+		}
+		return
+	}
+
+	// Tier 3: admission control, then a worker slot.
+	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash)
+	if out.cacheable {
+		s.cache.add(hash, out.status, out.body)
+	}
+	s.flights.finish(hash, c, out)
+	s.writeRaw(w, out.status, out.body, "miss")
+}
+
+// admitAndCompile runs the admission-controlled compilation and
+// serializes its outcome.
+func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash string) outcome {
+	if !s.adm.tryEnter() {
+		s.rejected.Add(1)
+		return s.errOutcome(http.StatusTooManyRequests, &wire.Error{
+			Kind:    wire.ErrKindOverloaded,
+			Message: fmt.Sprintf("admission queue full (%d running, %d waiting)", s.adm.running(), s.adm.waiting()),
+		})
+	}
+	defer s.adm.leave()
+	if err := s.adm.acquireWorker(ctx); err != nil {
+		return s.errOutcome(http.StatusServiceUnavailable, &wire.Error{
+			Kind: wire.ErrKindInternal, Message: fmt.Sprintf("canceled while queued: %v", err),
+		})
+	}
+	defer s.adm.releaseWorker()
+
+	cfg := norm.Options.SchedConfig()
+	cfg.Budget.Deadline = s.effectiveDeadline(cfg.Budget.Deadline)
+	cfg.Observer = s.sm
+	compiled, err := s.safeCompile(ctx, loop, core.Options{
+		Scheduler:   core.SchedulerName(schedName),
+		Config:      cfg,
+		SkipCodegen: true,
+		Degrade:     norm.Options.Degrade,
+	})
+	return s.outcomeOf(norm, loop, schedName, hash, compiled, err)
+}
+
+// effectiveDeadline applies the server's default and cap to the
+// request's wall-clock budget.
+func (s *Server) effectiveDeadline(req time.Duration) time.Duration {
+	d := req
+	if d == 0 && s.cfg.DefaultDeadline > 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// panicError mirrors bench.LoopPanicError: one request's panic is
+// recovered, stamped with its stack, and isolated to that request.
+type panicError struct {
+	Loop      string
+	Recovered any
+	Stack     []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("server: %s: panic: %v", e.Loop, e.Recovered)
+}
+
+// safeCompile is CompileContext behind a panic barrier.
+func (s *Server) safeCompile(ctx context.Context, l *ir.Loop, opt core.Options) (c *core.Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, &panicError{Loop: l.Name, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	return core.CompileContext(ctx, l, opt)
+}
+
+// outcomeOf maps a compilation result onto the wire response and HTTP
+// status, and decides cacheability.
+func (s *Server) outcomeOf(norm *wire.Request, loop *ir.Loop, schedName, hash string, c *core.Compiled, err error) outcome {
+	resp := &wire.Response{
+		Hash:      hash,
+		Loop:      loop.Name,
+		Machine:   norm.Machine,
+		Scheduler: schedName,
+	}
+	if c != nil && c.Result != nil {
+		b := c.Result.Bounds
+		resp.Bounds = wire.Bounds{ResMII: b.ResMII, RecMII: b.RecMII, MII: b.MII}
+		resp.Effort = wire.EffortOf(c.Result.Stats)
+	}
+
+	var pe *panicError
+	var be *sched.BudgetError
+	switch {
+	case err == nil:
+		// fall through to the success body below
+	case errors.As(err, &pe):
+		s.panics.Add(1)
+		return s.respOutcome(http.StatusInternalServerError, resp, &wire.Error{
+			Kind: wire.ErrKindPanic, Message: pe.Error(),
+		}, false)
+	case errors.As(err, &be):
+		s.budgetExhausted.Add(1)
+		return s.respOutcome(http.StatusGatewayTimeout, resp, &wire.Error{
+			Kind:    wire.ErrKindBudgetExhausted,
+			Message: be.Error(),
+			Reason:  be.Reason,
+			MII:     be.MII,
+			LastII:  be.LastII,
+		}, false)
+	case errors.Is(err, sched.ErrInfeasible):
+		s.infeasible.Add(1)
+		var ie *sched.InfeasibleError
+		e := &wire.Error{Kind: wire.ErrKindInfeasible, Message: err.Error()}
+		if errors.As(err, &ie) {
+			e.MII, e.LastII = ie.MII, ie.LastII
+		}
+		// An infeasible verdict is deterministic for a given request
+		// (the II ceiling is part of the content hash), so cache it.
+		return s.respOutcome(http.StatusUnprocessableEntity, resp, e, true)
+	default:
+		s.internalErrors.Add(1)
+		return s.respOutcome(http.StatusInternalServerError, resp, &wire.Error{
+			Kind: wire.ErrKindInternal, Message: err.Error(),
+		}, false)
+	}
+
+	res := c.Result
+	resp.OK = c.OK()
+	resp.Degraded = c.Degraded
+	if !c.OK() {
+		// Defensive: core.CompileContext reports infeasibility via err,
+		// so this branch only guards external Result producers.
+		s.infeasible.Add(1)
+		return s.respOutcome(http.StatusUnprocessableEntity, resp, &wire.Error{
+			Kind:    wire.ErrKindInfeasible,
+			Message: fmt.Sprintf("no feasible schedule (last II attempted %d)", res.FailedII),
+			MII:     res.Bounds.MII,
+			LastII:  res.FailedII,
+		}, true)
+	}
+	s.compileOK.Add(1)
+	if c.Degraded {
+		s.compileDegraded.Add(1)
+	}
+	sc := res.Schedule
+	resp.II = sc.II
+	resp.Length = sc.Length()
+	resp.Stages = sc.Stages()
+	resp.Times = sc.Time
+	resp.MaxLive = c.RR.MaxLive
+	resp.MinAvg = c.MinAvg
+	resp.ICR = c.ICR
+	resp.GPRs = c.GPRs
+	// Degraded schedules come from a wall-clock fallback and are not
+	// reproducible; keep them out of the cache.
+	return s.respOutcome(http.StatusOK, resp, nil, !c.Degraded)
+}
+
+func (s *Server) respOutcome(status int, resp *wire.Response, e *wire.Error, cacheable bool) outcome {
+	resp.Error = e
+	body, err := json.Marshal(resp)
+	if err != nil {
+		body = []byte(fmt.Sprintf(`{"error":{"kind":%q,"message":%q}}`, wire.ErrKindInternal, err.Error()))
+		status, cacheable = http.StatusInternalServerError, false
+	}
+	return outcome{status: status, body: body, cacheable: cacheable}
+}
+
+func (s *Server) errOutcome(status int, e *wire.Error) outcome {
+	body, _ := json.Marshal(&wire.Response{Error: e})
+	return outcome{status: status, body: body}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.badRequests.Add(1)
+	s.writeError(w, http.StatusBadRequest, &wire.Error{
+		Kind: wire.ErrKindBadRequest, Message: err.Error(),
+	}, "")
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, e *wire.Error, cacheState string) {
+	body, _ := json.Marshal(&wire.Response{Error: e})
+	s.writeRaw(w, status, body, cacheState)
+}
+
+// writeRaw writes a serialized response. cacheState ("hit", "miss",
+// "dedup") lands in the X-Lsmsd-Cache header, never in the body, so
+// cached replays stay byte-identical to the original response.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte, cacheState string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if cacheState != "" {
+		h.Set("X-Lsmsd-Cache", cacheState)
+	}
+	if status == http.StatusTooManyRequests {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h.Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) handleSchedulers(w http.ResponseWriter, r *http.Request) {
+	names := core.Schedulers()
+	out := struct {
+		Schedulers []core.SchedulerName `json:"schedulers"`
+		Default    core.SchedulerName   `json:"default"`
+	}{Schedulers: names, Default: core.SchedSlack}
+	body, _ := json.Marshal(out)
+	s.writeRaw(w, http.StatusOK, body, "")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.gate.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	out := struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Workers       int     `json:"workers"`
+		Running       int     `json:"running"`
+		Waiting       int     `json:"waiting"`
+		CacheEntries  int     `json:"cache_entries"`
+	}{status, time.Since(s.started).Seconds(), s.cfg.Workers, s.adm.running(), s.adm.waiting(), s.cache.len()}
+	body, _ := json.Marshal(out)
+	s.writeRaw(w, code, body, "")
+}

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// compile schedules a loop the way lsmsd does (no codegen) and returns
+// the deterministic observables.
+func compile(t *testing.T, l *ir.Loop, scheduler string) (ii int, times []int, maxLive int, eff Effort) {
+	t.Helper()
+	c, err := core.Compile(l, core.Options{
+		Scheduler:   core.SchedulerName(scheduler),
+		SkipCodegen: true,
+	})
+	if err != nil {
+		t.Fatalf("compile %s: %v", l.Name, err)
+	}
+	if !c.OK() {
+		t.Fatalf("compile %s: gave up at II=%d", l.Name, c.Result.FailedII)
+	}
+	return c.Result.Schedule.II, c.Result.Schedule.Time, c.RR.MaxLive, EffortOf(c.Result.Stats)
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	m := machine.Cydra()
+	for _, l := range fixture.All(m) {
+		w, err := EncodeLoop(l)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", l.Name, err)
+		}
+		l2, err := w.DecodeLoop(m)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", l.Name, err)
+		}
+		w2, err := EncodeLoop(l2)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", l.Name, err)
+		}
+		b1, _ := json.Marshal(w)
+		b2, _ := json.Marshal(w2)
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: decode∘encode is not the identity:\n%s\nvs\n%s", l.Name, b1, b2)
+		}
+		// The derived structures must match too: the decoded loop is
+		// indistinguishable from the original to the scheduler.
+		if !reflect.DeepEqual(l.Deps, l2.Deps) {
+			t.Errorf("%s: dependence arcs differ after round trip", l.Name)
+		}
+		for i := range l.Ops {
+			if l.Ops[i].FU != l2.Ops[i].FU || l.Ops[i].OnRecurrence != l2.Ops[i].OnRecurrence {
+				t.Errorf("%s: op %d derived fields differ after round trip", l.Name, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripRecompiles(t *testing.T) {
+	m := machine.Cydra()
+	for _, l := range fixture.All(m) {
+		w, err := EncodeLoop(l)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", l.Name, err)
+		}
+		l2, err := w.DecodeLoop(m)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", l.Name, err)
+		}
+		ii1, t1, p1, e1 := compile(t, l, "slack")
+		ii2, t2, p2, e2 := compile(t, l2, "slack")
+		if ii1 != ii2 || p1 != p2 || e1 != e2 || !reflect.DeepEqual(t1, t2) {
+			t.Errorf("%s: decoded loop compiles differently: II %d vs %d, MaxLive %d vs %d, effort %+v vs %+v",
+				l.Name, ii1, ii2, p1, p2, e1, e2)
+		}
+	}
+}
+
+func TestHashCanonicalization(t *testing.T) {
+	l := fixture.Daxpy(machine.Cydra())
+	base, err := NewRequest(l, "slack", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The wall-clock deadline is excluded from the content address.
+	dl := *base
+	dl.Options.DeadlineMS = 5000
+	if h, _ := dl.Hash(); h != h0 {
+		t.Errorf("deadline changed the hash: %s vs %s", h, h0)
+	}
+
+	// Deterministic work caps are included.
+	caps := *base
+	caps.Options.MaxIIAttempts = 3
+	if h, _ := caps.Hash(); h == h0 {
+		t.Error("MaxIIAttempts did not change the hash")
+	}
+
+	// So are scheduler, machine, and degrade.
+	for name, mut := range map[string]func(*Request){
+		"scheduler": func(r *Request) { r.Scheduler = "cydrome" },
+		"machine":   func(r *Request) { r.Machine = "shortmem" },
+		"degrade":   func(r *Request) { r.Options.Degrade = true },
+	} {
+		r := *base
+		mut(&r)
+		if h, _ := r.Hash(); h == h0 {
+			t.Errorf("%s did not change the hash", name)
+		}
+	}
+}
+
+func TestSourceAndIRFormsHashIdentically(t *testing.T) {
+	src := `      subroutine triad(n, q, a, b, c)
+      real a(1001), b(1001), c(1001), q
+      integer n, i
+      do i = 1, 1000
+        a(i) = b(i) + q*c(i)
+      end do
+      end
+`
+	srcReq := &Request{
+		Version:   Version,
+		Machine:   "cydra",
+		Scheduler: "slack",
+		Source:    src,
+	}
+	hs, err := srcReq.Hash()
+	if err != nil {
+		t.Fatalf("source-form hash: %v", err)
+	}
+	_, l, err := srcReq.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	irReq, err := NewRequest(l, "slack", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := irReq.Hash()
+	if err != nil {
+		t.Fatalf("IR-form hash: %v", err)
+	}
+	if hs != hi {
+		t.Errorf("source form hashes %s but IR form hashes %s", hs, hi)
+	}
+}
+
+func TestValidateRejectsBadEnvelopes(t *testing.T) {
+	l := fixture.Daxpy(machine.Cydra())
+	good, err := NewRequest(l, "slack", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Request){
+		"version": func(r *Request) { r.Version = "lsms-wire/0" },
+		"machine": func(r *Request) { r.Machine = "pdp11" },
+		"both":    func(r *Request) { r.Source = "x" },
+		"neither": func(r *Request) { r.Loop = nil },
+	} {
+		r := *good
+		mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: bad envelope accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	m := machine.Cydra()
+	l := fixture.Daxpy(m)
+	base, err := EncodeLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() *Loop {
+		b, _ := json.Marshal(base)
+		var c Loop
+		_ = json.Unmarshal(b, &c)
+		return &c
+	}
+	for name, mut := range map[string]func(*Loop){
+		"opcode":   func(w *Loop) { w.Ops[0].Opcode = "frobnicate" },
+		"file":     func(w *Loop) { w.Values[0].File = "XR" },
+		"type":     func(w *Loop) { w.Values[0].Type = "complex" },
+		"depkind":  func(w *Loop) { w.Deps[0].Kind = "flow" },
+		"arg":      func(w *Loop) { w.Ops[0].Args[0].Val = 99 },
+		"result":   func(w *Loop) { w.Ops[0].Result = 99 },
+		"deprange": func(w *Loop) { w.Deps[0].To = 99 },
+	} {
+		w := clone()
+		mut(w)
+		if _, err := w.DecodeLoop(m); err == nil {
+			t.Errorf("%s: bad document decoded", name)
+		}
+	}
+}
+
+// goldenHash pins the content address of the golden fixture; it can
+// only change together with the wire version.
+const goldenHash = "sha256:071327d14c486a52b7552e215aaffc185a2f26c5b8e9281042e2f764a6ab9844"
+
+func TestGoldenFixture(t *testing.T) {
+	b, err := os.ReadFile("testdata/daxpy.wire.json")
+	if err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	var r Request
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("golden fixture does not parse: %v", err)
+	}
+	canon, err := r.Canonical()
+	if err != nil {
+		t.Fatalf("golden fixture does not canonicalize: %v", err)
+	}
+	if got := bytes.TrimRight(b, "\n"); !bytes.Equal(canon, got) {
+		t.Errorf("golden fixture is not in canonical form:\nfile: %s\ncanonical: %s", got, canon)
+	}
+	h, err := r.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenHash {
+		t.Errorf("golden hash drifted: got %s, want %s (a deliberate format change must bump wire.Version)", h, goldenHash)
+	}
+	// The pinned document must still decode to the fixture loop and
+	// compile identically to it.
+	_, l, err := r.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii1, t1, p1, e1 := compile(t, l, "slack")
+	ii2, t2, p2, e2 := compile(t, fixture.Daxpy(machine.Cydra()), "slack")
+	if ii1 != ii2 || p1 != p2 || e1 != e2 || !reflect.DeepEqual(t1, t2) {
+		t.Errorf("golden loop compiles differently from fixture.Daxpy: II %d vs %d", ii1, ii2)
+	}
+}
