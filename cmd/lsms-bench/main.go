@@ -5,7 +5,11 @@
 //
 //	lsms-bench [-size 1525] [-seed 1993] [-exp all] [-parallel N]
 //	           [-benchjson BENCH_sched.json] [-metricsjson BENCH_metrics.json]
-//	           [-deadline 0] [-degrade]
+//	           [-tracedir DIR] [-deadline 0] [-degrade]
+//
+// -tracedir traces every compilation in the sweep and writes one Chrome
+// trace_event document per policy (DIR/<policy>.trace.json) — open in
+// Perfetto to see which loops and pipeline phases dominate a sweep.
 //
 // Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
 // headline ablation regalloc iistep expansion predshare straightline
@@ -24,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -40,6 +46,7 @@ func main() {
 	par := flag.Int("parallel", 0, "worker pool for the scheduling sweep (0 = GOMAXPROCS, 1 = sequential)")
 	benchjson := flag.String("benchjson", "", "write the perf experiment's JSON record here (implies -exp perf)")
 	metricsjson := flag.String("metricsjson", "", "write the merged event-stream metrics JSON here (implies -exp metrics)")
+	tracedir := flag.String("tracedir", "", "write one Chrome trace_event file per policy into this directory")
 	noFast := flag.Bool("nofastpaths", false, "disable parametric MinDist reuse and incremental bounds (perf attribution baseline)")
 	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
 	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its deadline")
@@ -82,6 +89,7 @@ func main() {
 			}
 			s.Parallel = *par
 			s.Degrade = *degrade
+			s.Trace = *tracedir != ""
 			if *noFast || *deadline > 0 {
 				cfg := sched.Config{
 					NoFastPaths: *noFast,
@@ -207,6 +215,43 @@ func main() {
 			fmt.Printf("metrics record written to %s\n", *metricsjson)
 		}
 	}
+	if *tracedir != "" {
+		check(writeTraces(suite(), *tracedir))
+	}
+}
+
+// writeTraces sweeps every policy (cached runs are reused) and writes
+// each policy's per-loop span traces as one Chrome trace_event file.
+func writeTraces(s *bench.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range core.Schedulers() {
+		rs, err := s.Runs(name)
+		if err != nil {
+			return err
+		}
+		traces := make([]*obs.Trace, 0, len(rs))
+		for _, r := range rs {
+			if r.Trace != nil {
+				traces = append(traces, r.Trace)
+			}
+		}
+		path := filepath.Join(dir, string(name)+".trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace for %s (%d loops) written to %s\n", name, len(traces), path)
+	}
+	return nil
 }
 
 func check(err error) {

@@ -9,7 +9,14 @@
 //	lsms [-scheduler slack|slack-unidirectional|cydrome|list]
 //	     [-machine cydra|shortmem|longops|pipediv]
 //	     [-dump ir,sched,kernel,pressure]
-//	     [-trace] [-deadline 0] [-degrade] file.f
+//	     [-trace[=text|chrome]] [-traceout lsms-trace.json]
+//	     [-deadline 0] [-degrade] file.f
+//
+// -trace (or -trace=text) prints the scheduler's per-iteration decision
+// trace before each loop's report. -trace=chrome instead records each
+// loop's compile-pipeline span trace and writes one Chrome trace_event
+// document to -traceout — load it in Perfetto or chrome://tracing to
+// see where the compile time went.
 //
 // With -emit json, lsms does not schedule: it prints each eligible
 // loop's canonical wire-format compile request (lsms-wire/1) as one
@@ -46,6 +53,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/viz"
 	"repro/internal/wire"
@@ -60,13 +68,38 @@ const (
 	exitBudget     = 4
 )
 
+// traceFlag is the -trace mode: "" (off), "text" (the per-iteration
+// decision trace), or "chrome" (trace_event spans to -traceout). It is
+// boolean-shaped so the historical bare "-trace" keeps meaning text.
+type traceFlag struct{ mode string }
+
+func (f *traceFlag) String() string { return f.mode }
+
+func (f *traceFlag) IsBoolFlag() bool { return true }
+
+func (f *traceFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.mode = "text"
+	case "false":
+		f.mode = ""
+	case "text", "chrome":
+		f.mode = s
+	default:
+		return fmt.Errorf("unknown trace mode %q (supported: text, chrome)", s)
+	}
+	return nil
+}
+
 func main() {
 	schedName := flag.String("scheduler", "slack", "scheduling policy: slack, slack-unidirectional, cydrome, list")
 	machName := flag.String("machine", "cydra", "machine model: cydra, shortmem, longops, pipediv")
 	dump := flag.String("dump", "sched,pressure", "comma-separated: ir, sched, mrt, gantt, lifetimes, kernel, pressure")
 	verify := flag.Bool("verify", false, "execute the generated kernel on the VLIW simulator against the interpreter (auto-generated inputs)")
 	par := flag.Int("parallel", 0, "compile the file's loops on this many workers (0 = GOMAXPROCS, 1 = sequential); output order is unchanged")
-	trace := flag.Bool("trace", false, "print the scheduler's per-iteration trace before each loop's report")
+	var trace traceFlag
+	flag.Var(&trace, "trace", `trace mode: "text" prints the per-iteration scheduler trace, "chrome" writes pipeline spans to -traceout`)
+	traceout := flag.String("traceout", "lsms-trace.json", "Chrome trace_event output path for -trace=chrome")
 	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
 	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its -deadline")
 	emit := flag.String("emit", "", `emit "json": print each eligible loop's canonical wire request instead of scheduling`)
@@ -122,6 +155,7 @@ func main() {
 	compiled := make([]*core.Compiled, len(loops))
 	cerrs := make([]error, len(loops))
 	traces := make([]bytes.Buffer, len(loops))
+	spans := make([]*obs.Trace, len(loops))
 	compileAll(loops, *par, func(i int) {
 		if loops[i].Ineligible != nil {
 			return
@@ -131,10 +165,19 @@ func main() {
 			Config:    sched.Config{Budget: sched.Budget{Deadline: *deadline}},
 			Degrade:   *degrade,
 		}
-		if *trace {
+		if trace.mode == "text" {
 			opt.Config.Observer = sched.TextObserver(&traces[i])
 		}
-		compiled[i], cerrs[i] = core.CompileContext(context.Background(), loops[i].Loop, opt)
+		ctx := context.Background()
+		if trace.mode == "chrome" {
+			name := fmt.Sprintf("loop-%d", i+1)
+			spans[i] = obs.NewTrace(name, name)
+			ctx = obs.WithTrace(ctx, spans[i])
+		}
+		compiled[i], cerrs[i] = core.CompileContext(ctx, loops[i].Loop, opt)
+		if spans[i] != nil {
+			spans[i].Finish(compileOutcome(compiled[i], cerrs[i]))
+		}
 	})
 
 	exit := exitOK
@@ -152,7 +195,7 @@ func main() {
 		if wants["ir"] {
 			fmt.Print(cl.Loop.String())
 		}
-		if *trace && traces[i].Len() > 0 {
+		if trace.mode == "text" && traces[i].Len() > 0 {
 			os.Stdout.Write(traces[i].Bytes())
 		}
 		c, err := compiled[i], cerrs[i]
@@ -224,9 +267,50 @@ func main() {
 			fmt.Printf("verify: %d iterations on the VLIW simulator match the interpreter\n", trips)
 		}
 	}
+	if trace.mode == "chrome" {
+		kept := make([]*obs.Trace, 0, len(spans))
+		for _, tr := range spans {
+			if tr != nil {
+				kept = append(kept, tr)
+			}
+		}
+		f, err := os.Create(*traceout)
+		if err != nil {
+			fatalf("trace output: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f, kept); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("\nchrome trace (%d loop(s)) written to %s\n", len(kept), *traceout)
+	}
 	if exit != exitOK {
 		os.Exit(exit)
 	}
+}
+
+// compileOutcome names a finished compilation for its trace, matching
+// the vocabulary the lsmsd flight recorder uses.
+func compileOutcome(c *core.Compiled, err error) string {
+	var be *sched.BudgetError
+	switch {
+	case errors.As(err, &be):
+		if be.Reason != "" {
+			return be.Reason
+		}
+		return obs.OutcomeBudgetExhausted
+	case errors.Is(err, sched.ErrInfeasible):
+		return obs.OutcomeInfeasible
+	case err != nil:
+		return obs.OutcomeError
+	case c != nil && c.Degraded:
+		return obs.OutcomeDegraded
+	case c != nil && !c.OK():
+		return obs.OutcomeInfeasible
+	}
+	return obs.OutcomeOK
 }
 
 // emitWire prints each eligible loop's canonical wire request as one

@@ -7,17 +7,26 @@
 //
 //	lsmsd [-addr :8577] [-workers N] [-queue 64] [-cache 1024]
 //	      [-default-deadline 30s] [-max-deadline 2m] [-retry-after 1s]
+//	      [-debug-addr :8578] [-flight 64] [-log json|none]
 //
 // Endpoints (see README "Running the service"):
 //
 //	POST /v1/compile    — wire.Request (mini-FORTRAN source or IR form)
 //	GET  /v1/schedulers — registered scheduling policies
 //	GET  /healthz       — liveness and pool occupancy
-//	GET  /metrics       — Prometheus-style counters
+//	GET  /metrics       — Prometheus text exposition
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, new
-// compiles get 503, and in-flight compiles drain (up to -drain-timeout)
-// before the process exits.
+// With -debug-addr a second listener serves the introspection surface,
+// kept off the compile port so it is never publicly reachable:
+//
+//	GET  /debug/pprof/...       — the standard net/http/pprof handlers
+//	GET  /debug/flightrecorder  — the last -flight compile traces
+//
+// SIGQUIT dumps the flight recorder to stderr and keeps serving — the
+// "what was this process just doing" question, answerable without
+// stopping it. SIGINT/SIGTERM trigger a graceful shutdown: the listener
+// closes, new compiles get 503, and in-flight compiles drain (up to
+// -drain-timeout) before the process exits.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,7 +53,19 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on any requested deadline")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight compiles")
+	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/flightrecorder (empty = disabled)")
+	flight := flag.Int("flight", 0, "flight-recorder entries (0 = default 64)")
+	logMode := flag.String("log", "json", `request logging: "json" (structured, stderr) or "none"`)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "none":
+	default:
+		fatalf("unknown -log mode %q (supported: json, none)", *logMode)
+	}
 
 	srv := server.New(server.Config{
 		Workers:         *workers,
@@ -52,6 +74,8 @@ func main() {
 		DefaultDeadline: *defDeadline,
 		MaxDeadline:     *maxDeadline,
 		RetryAfter:      *retryAfter,
+		FlightEntries:   *flight,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -59,27 +83,58 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		fmt.Printf("lsmsd: listening on %s\n", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Printf("lsmsd: debug listener on %s\n", *debugAddr)
+			errc <- debugSrv.ListenAndServe()
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		fatalf("serve: %v", err)
-	case sig := <-sigc:
-		fmt.Printf("lsmsd: %v — draining\n", sig)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+loop:
+	for {
+		select {
+		case err := <-errc:
+			fatalf("serve: %v", err)
+		case sig := <-sigc:
+			if sig == syscall.SIGQUIT {
+				// Dump and keep serving: SIGQUIT is the in-production
+				// "show me the last N compiles" lever.
+				fmt.Fprintf(os.Stderr, "lsmsd: SIGQUIT — flight recorder dump\n")
+				if err := srv.FlightRecorder().WriteJSON(os.Stderr); err != nil {
+					fmt.Fprintf(os.Stderr, "lsmsd: flight dump: %v\n", err)
+				}
+				continue
+			}
+			fmt.Printf("lsmsd: %v — draining\n", sig)
+			break loop
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Close the listener and let active handlers finish, then wait for
+	// Close the listeners and let active handlers finish, then wait for
 	// the app-level drain (compiles started before the signal).
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "lsmsd: http shutdown: %v\n", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "lsmsd: debug shutdown: %v\n", err)
+		}
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fatalf("drain: %v", err)

@@ -1,0 +1,45 @@
+// Command promlint checks a Prometheus text exposition for the format
+// errors that break real scrapers: samples without HELP/TYPE, duplicate
+// series, counters not suffixed _total, histograms with missing or
+// non-cumulative le buckets. It reads a file (or stdin) and exits 1
+// when it finds anything, printing one issue per line — the shape CI
+// wants for gating /metrics:
+//
+//	curl -s localhost:8577/metrics | promlint
+//	promlint scrape.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [exposition.txt]")
+		os.Exit(2)
+	}
+	issues := obs.LintExposition(in)
+	for _, issue := range issues {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, issue)
+	}
+	if len(issues) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: ok\n", name)
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mii"
 	"repro/internal/mindist"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -102,6 +103,8 @@ type Run struct {
 	Err error
 	// Metrics is the loop's aggregated event stream (Suite.Metrics).
 	Metrics *sched.Metrics
+	// Trace is the loop's compile-pipeline span trace (Suite.Trace).
+	Trace *obs.Trace
 }
 
 // Suite wraps the workload with cached analyses and runs. Suite methods
@@ -124,6 +127,9 @@ type Suite struct {
 	// loop order, so the merged counters are identical for serial and
 	// parallel sweeps.
 	Metrics bool
+	// Trace attaches an obs.Trace per run; the per-loop span traces land
+	// in Run.Trace, ready for obs.WriteChromeTrace (lsms-bench -tracedir).
+	Trace bool
 
 	infos []*LoopInfo
 	runs  map[core.SchedulerName][]Run
@@ -322,6 +328,7 @@ func (s *Suite) runOne(ctx context.Context, name core.SchedulerName, cfg sched.C
 			run.OK = false
 			run.Err = &LoopPanicError{Loop: info.Name, Recovered: r, Stack: debug.Stack()}
 		}
+		run.Trace.Finish(runOutcome(run)) // nil-safe no-op unless Suite.Trace
 	}()
 	if s.Metrics {
 		m := &sched.Metrics{}
@@ -331,6 +338,10 @@ func (s *Suite) runOne(ctx context.Context, name core.SchedulerName, cfg sched.C
 			cfg.Observer = m
 		}
 		run.Metrics = m
+	}
+	if s.Trace {
+		run.Trace = obs.NewTrace(info.Name, info.Name)
+		ctx = obs.WithTrace(ctx, run.Trace)
 	}
 	c, err := core.CompileContext(ctx, info.Loop, core.Options{
 		Scheduler:   name,
@@ -359,6 +370,30 @@ func (s *Suite) runOne(ctx context.Context, name core.SchedulerName, cfg sched.C
 		run.ICR = c.ICR
 	}
 	return run
+}
+
+// runOutcome names a finished run for its trace, reusing the budget
+// Reason vocabulary so bench traces read like server flight-recorder
+// entries.
+func runOutcome(run Run) string {
+	var be *sched.BudgetError
+	var pe *LoopPanicError
+	switch {
+	case errors.As(run.Err, &pe):
+		return obs.OutcomePanic
+	case errors.As(run.Err, &be):
+		if be.Reason != "" {
+			return be.Reason
+		}
+		return obs.OutcomeBudgetExhausted
+	case run.Err != nil:
+		return obs.OutcomeError
+	case run.Degraded:
+		return obs.OutcomeDegraded
+	case !run.OK:
+		return obs.OutcomeInfeasible
+	}
+	return obs.OutcomeOK
 }
 
 // multiObserver chains observers for one run.

@@ -119,9 +119,13 @@ type PolicyMetrics struct {
 	Errors   int    `json:"errors,omitempty"`   // per-loop Run.Err (budget, panic, internal)
 	Degraded int    `json:"degraded,omitempty"` // list-scheduler rescues
 
-	// Events counts the typed event stream by wire name; Counters carries
-	// the rest of the sched.Metrics aggregate.
+	// Events counts the typed event stream by wire name, Outcomes the
+	// finished attempts by their AttemptOutcome name; Counters carries
+	// the rest of the sched.Metrics aggregate. Both maps marshal with
+	// sorted keys (encoding/json's map ordering), so the JSON record is
+	// byte-deterministic.
 	Events   map[string]int64 `json:"events"`
+	Outcomes map[string]int64 `json:"attempt_outcomes"`
 	Counters *sched.Metrics   `json:"counters"`
 }
 
@@ -157,6 +161,7 @@ func CollectMetrics(s *Suite) (*MetricsReport, error) {
 			Policy:   string(name),
 			Loops:    len(rs),
 			Events:   m.EventCounts(),
+			Outcomes: m.OutcomeCounts(),
 			Counters: m,
 		}
 		for _, run := range rs {

@@ -18,6 +18,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,6 +66,13 @@ type Kernel struct {
 // Generate allocates rotating registers for the schedule and emits the
 // kernel. The schedule must be complete and legal.
 func Generate(l *ir.Loop, s *ir.Schedule) (*Kernel, error) {
+	return GenerateContext(context.Background(), l, s)
+}
+
+// GenerateContext is Generate under a context: when the context carries
+// an obs.Trace, the two rotating-register allocations (RR and ICR files)
+// record "regalloc" spans.
+func GenerateContext(ctx context.Context, l *ir.Loop, s *ir.Schedule) (*Kernel, error) {
 	if !s.Complete() {
 		return nil, fmt.Errorf("codegen: incomplete schedule for %s", l.Name)
 	}
@@ -86,8 +94,8 @@ func Generate(l *ir.Loop, s *ir.Schedule) (*Kernel, error) {
 	}
 	extend(rrRanges)
 	extend(icrRanges)
-	rr := regalloc.Allocate(rrRanges, s.II, regalloc.FirstFit, regalloc.StartTime)
-	icr := regalloc.Allocate(icrRanges, s.II, regalloc.FirstFit, regalloc.StartTime)
+	rr := regalloc.AllocateContext(ctx, rrRanges, s.II, regalloc.FirstFit, regalloc.StartTime)
+	icr := regalloc.AllocateContext(ctx, icrRanges, s.II, regalloc.FirstFit, regalloc.StartTime)
 	if err := regalloc.Verify(rrRanges, s.II, rr); err != nil {
 		return nil, fmt.Errorf("codegen: RR allocation: %w", err)
 	}

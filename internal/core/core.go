@@ -38,6 +38,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lifetime"
 	"repro/internal/mindist"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/semantics"
@@ -112,7 +113,16 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheduler, opt.Scheduler, Schedulers())
 	}
+	tr := obs.FromContext(ctx)
+	if tr != nil {
+		tr.Scheduler = string(opt.Scheduler)
+	}
+	sp := tr.Start("schedule").Str("scheduler", string(opt.Scheduler))
 	res, err := factory(opt.Config).Schedule(ctx, l)
+	if res != nil {
+		sp.Int("ii", int64(res.II())).Int("mii", int64(res.Bounds.MII))
+	}
+	sp.End(scheduleOutcome(err))
 	var c *Compiled
 	if res != nil {
 		c = &Compiled{Loop: l, Result: res, GPRs: l.GPRCount()}
@@ -133,6 +143,7 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 		return c, nil
 	}
 	s := res.Schedule
+	spp := tr.Start("pressure").Int("ii", int64(s.II))
 	c.RR = lifetime.Measure(l, s, ir.RR)
 	c.ICR = lifetime.ICRUsage(l, s)
 	// Every scheduler plumbs the table at its final II through
@@ -146,14 +157,39 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 		}
 	}
 	c.MinAvg = mindist.MinAvg(l, md, ir.RR)
+	spp.Int("maxlive", int64(c.RR.MaxLive)).Int("minavg", int64(c.MinAvg)).End(obs.OutcomeOK)
 	if !opt.SkipCodegen {
-		k, err := codegen.Generate(l, s)
+		spc := tr.Start("codegen").Int("ii", int64(s.II))
+		k, err := codegen.GenerateContext(ctx, l, s)
 		if err != nil {
+			spc.End(obs.OutcomeError)
 			return nil, err
 		}
+		spc.Int("nrr", int64(k.NRR)).Int("nicr", int64(k.NICR)).End(obs.OutcomeOK)
 		c.Kernel = k
 	}
 	return c, nil
+}
+
+// scheduleOutcome classifies a scheduling error for the "schedule" span:
+// budget errors carry the exhausted bound (the Reason strings are the
+// obs outcome names), infeasibility and other failures map to their own
+// outcomes.
+func scheduleOutcome(err error) string {
+	var be *sched.BudgetError
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.As(err, &be):
+		if be.Reason != "" {
+			return be.Reason
+		}
+		return obs.OutcomeBudgetExhausted
+	case errors.Is(err, sched.ErrInfeasible):
+		return obs.OutcomeInfeasible
+	default:
+		return obs.OutcomeError
+	}
 }
 
 // degrade runs the no-backtracking list scheduler after be exhausted
@@ -166,8 +202,8 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 func degrade(ctx context.Context, l *ir.Loop, opt Options, be *sched.BudgetError) (*sched.Result, error) {
 	cfg := opt.Config
 	cfg.Budget = sched.Budget{}
-	if obs := cfg.EventSink(); obs != nil {
-		obs.Event(sched.Event{
+	if sink := cfg.EventSink(); sink != nil {
+		sink.Event(sched.Event{
 			Kind:   sched.EvDegraded,
 			Loop:   l.Name,
 			Policy: be.Policy,
@@ -175,13 +211,17 @@ func degrade(ctx context.Context, l *ir.Loop, opt Options, be *sched.BudgetError
 			Op:     -1,
 		})
 	}
+	sp := obs.FromContext(ctx).Start("degrade").Str("from", be.Policy).Str("reason", be.Reason)
 	res, err := sched.ListScheduleContext(ctx, l, cfg)
 	if err != nil && !errors.Is(err, sched.ErrInfeasible) {
+		sp.End(obs.OutcomeError)
 		return res, err
 	}
 	if res == nil || !res.OK() {
+		sp.End(obs.OutcomeInfeasible)
 		return res, be
 	}
+	sp.Int("ii", int64(res.II())).End(obs.OutcomeOK)
 	return res, nil
 }
 

@@ -16,9 +16,12 @@
 package mii
 
 import (
+	"context"
+
 	"repro/internal/circuits"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Bounds holds a loop's lower bounds on II.
@@ -30,9 +33,18 @@ type Bounds struct {
 
 // Compute returns the loop's lower bounds on II.
 func Compute(l *ir.Loop) (Bounds, error) {
+	return ComputeContext(context.Background(), l)
+}
+
+// ComputeContext is Compute under a context: when the context carries an
+// obs.Trace, the bound computation records an "mii" span with the three
+// bounds as attributes (circuit enumeration dominates its duration).
+func ComputeContext(ctx context.Context, l *ir.Loop) (Bounds, error) {
+	sp := obs.FromContext(ctx).Start("mii")
 	res := ResMII(l)
 	rec, err := circuits.RecMII(l)
 	if err != nil {
+		sp.End(obs.OutcomeError)
 		return Bounds{}, err
 	}
 	m := res
@@ -42,6 +54,7 @@ func Compute(l *ir.Loop) (Bounds, error) {
 	if m < 1 {
 		m = 1
 	}
+	sp.Int("resmii", int64(res)).Int("recmii", int64(rec)).Int("mii", int64(m)).End(obs.OutcomeOK)
 	return Bounds{ResMII: res, RecMII: rec, MII: m}, nil
 }
 

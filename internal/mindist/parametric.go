@@ -23,6 +23,7 @@ import (
 	"errors"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // DefaultFrontierCap bounds the Pareto frontier per op pair. Loops whose
@@ -207,6 +208,7 @@ type Cache struct {
 	parFailed bool
 	calls     int
 	stop      func() bool
+	tr        *obs.Trace
 }
 
 // NewCache returns an empty cache for the loop.
@@ -219,18 +221,29 @@ func NewCache(l *ir.Loop) *Cache { return &Cache{l: l} }
 // here so deadlines bound even the O(n³) MinDist work.
 func (c *Cache) SetStop(stop func() bool) { c.stop = stop }
 
+// SetTrace attaches an observability trace: each At call then records a
+// "mindist" span carrying the II and the mode that answered it (direct
+// Floyd–Warshall or parametric instantiation), and the one-time
+// parametric build records its own "mindist-parametric" span. A nil
+// trace (the default) records nothing.
+func (c *Cache) SetTrace(tr *obs.Trace) { c.tr = tr }
+
 // At returns the loop's MinDist table at ii, ErrInfeasible, or
 // ErrStopped when the stop poll fired.
 func (c *Cache) At(ii int) (*Table, error) {
 	c.calls++
 	if c.calls > 1 && c.par == nil && !c.parFailed {
+		sp := c.tr.Start("mindist-parametric")
 		p, err := newParametric(c.l, DefaultFrontierCap, c.stop)
 		switch {
 		case err == ErrStopped:
+			sp.End(obs.OutcomeBudgetExhausted)
 			return nil, err
 		case err != nil:
+			sp.Str("fallback", "too-complex").End(obs.OutcomeGiveUp)
 			c.parFailed = true
 		default:
+			sp.End(obs.OutcomeOK)
 			c.par = p
 		}
 	}
@@ -238,14 +251,27 @@ func (c *Cache) At(ii int) (*Table, error) {
 		t   *Table
 		err error
 	)
+	sp := c.tr.Start("mindist").Int("ii", int64(ii))
 	if c.par != nil {
+		sp.Str("mode", "parametric")
 		t, err = c.par.Instantiate(ii, c.buf)
 	} else {
+		sp.Str("mode", "direct")
 		t, err = computeInto(c.l, ii, c.buf, c.stop)
 	}
 	if err != nil {
+		sp.End(cacheOutcome(err))
 		return nil, err // c.buf keeps any previously allocated store
 	}
+	sp.End(obs.OutcomeOK)
 	c.buf = t
 	return t, nil
+}
+
+// cacheOutcome classifies an At error for its span.
+func cacheOutcome(err error) string {
+	if errors.Is(err, ErrStopped) {
+		return obs.OutcomeBudgetExhausted
+	}
+	return obs.OutcomeInfeasible
 }

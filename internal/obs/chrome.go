@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace_event export: renders traces in the JSON Object Format
+// the Perfetto UI (and chrome://tracing) accepts — one "complete" (ph
+// "X") event per span, one thread per trace, timestamps in microseconds
+// relative to the earliest trace. Open the file at ui.perfetto.dev.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the traces as one trace_event JSON document.
+// Each trace becomes its own thread (named after the trace) inside pid
+// 1, so a bench sweep's loops stack vertically in the Perfetto UI while
+// one loop's phases nest on a single track.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	var events []chromeEvent
+	var base *Trace
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		if base == nil || t.Began.Before(base.Began) {
+			base = t
+		}
+	}
+	tid := 0
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		tid++
+		offset := t.Began.Sub(base.Began)
+		label := t.Name
+		if t.ID != "" && t.ID != t.Name {
+			label = fmt.Sprintf("%s (%s)", t.Name, t.ID)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": label},
+		})
+		args := map[string]any{"outcome": t.Outcome}
+		if t.Scheduler != "" {
+			args["scheduler"] = t.Scheduler
+		}
+		if t.Err != "" {
+			args["err"] = t.Err
+		}
+		events = append(events, chromeEvent{
+			Name: "compile", Cat: "compile", Ph: "X",
+			TS: us(offset), Dur: us(t.Dur), PID: 1, TID: tid, Args: args,
+		})
+		for _, s := range t.Spans {
+			sa := make(map[string]any, len(s.Attrs)+1)
+			if s.Outcome != "" {
+				sa["outcome"] = s.Outcome
+			}
+			for _, a := range s.Attrs {
+				if a.Str != "" {
+					sa[a.Key] = a.Str
+				} else {
+					sa[a.Key] = a.Int
+				}
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name, Cat: "phase", Ph: "X",
+				TS: us(offset + s.Start), Dur: us(s.Dur), PID: 1, TID: tid, Args: sa,
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, Unit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// us converts a duration to trace_event microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

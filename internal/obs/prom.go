@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a dependency-free Prometheus metrics registry: counters,
+// gauges, gauge callbacks, and histograms, rendered in the text
+// exposition format (version 0.0.4).
+//
+// One mutex guards every mutation and the whole of WriteText, so a
+// scrape observes a single consistent snapshot of all families — a
+// request counted in requests_total is also counted in exactly one of
+// the outcome counters, which the old per-atomic /metrics could not
+// promise. Mutations are a map lookup and a float add under an
+// uncontended lock; gauge callbacks run during WriteText and must not
+// touch the registry.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*Family
+	byName map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Family{}}
+}
+
+// Family is one named metric family, possibly labelled.
+type Family struct {
+	r       *Registry
+	name    string
+	help    string
+	kind    string // "counter", "gauge", "histogram"
+	labels  []string
+	buckets []float64 // histograms only
+	series  map[string]*series
+	fn      func() float64 // gauge callback; nil otherwise
+}
+
+// series is one label combination's state.
+type series struct {
+	labelVals []string
+	val       float64
+	counts    []float64 // histogram: per-bucket (cumulative at render)
+	sum       float64
+	n         float64
+}
+
+// register adds a family, panicking on redefinition — metric names are
+// program constants, so a clash is a bug, not an operational state.
+func (r *Registry) register(name, help, kind string, buckets []float64, fn func() float64, labels []string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &Family{
+		r: r, name: name, help: help, kind: kind,
+		labels: labels, buckets: buckets, fn: fn,
+		series: map[string]*series{},
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers a counter family (name should end in _total).
+func (r *Registry) Counter(name, help string, labels ...string) *Family {
+	return r.register(name, help, "counter", nil, nil, labels)
+}
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Family {
+	return r.register(name, help, "gauge", nil, nil, labels)
+}
+
+// GaugeFunc registers an unlabelled gauge whose value is read from fn
+// at scrape time. fn must not use the registry (the lock is held).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, fn, nil)
+}
+
+// Histogram registers a histogram family with the given upper bounds
+// (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Family {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	return r.register(name, help, "histogram", buckets, nil, labels)
+}
+
+// ExpBuckets returns n exponential bucket bounds starting at start with
+// the given growth factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// at returns (creating if needed) the series for the label values.
+// Caller holds r.mu.
+func (f *Family) at(labelVals []string) *series {
+	if len(labelVals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label value(s), got %d",
+			f.name, len(f.labels), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\xff")
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelVals: append([]string(nil), labelVals...)}
+		if f.kind == "histogram" {
+			s.counts = make([]float64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Add increments the series by delta.
+func (f *Family) Add(delta float64, labelVals ...string) {
+	f.r.mu.Lock()
+	f.at(labelVals).val += delta
+	f.r.mu.Unlock()
+}
+
+// Inc increments the series by one.
+func (f *Family) Inc(labelVals ...string) { f.Add(1, labelVals...) }
+
+// Set sets a gauge series.
+func (f *Family) Set(v float64, labelVals ...string) {
+	f.r.mu.Lock()
+	f.at(labelVals).val = v
+	f.r.mu.Unlock()
+}
+
+// Observe records one histogram observation.
+func (f *Family) Observe(v float64, labelVals ...string) {
+	f.r.mu.Lock()
+	s := f.at(labelVals)
+	i := sort.SearchFloat64s(f.buckets, v) // first bucket with bound >= v
+	s.counts[i]++
+	s.sum += v
+	s.n++
+	f.r.mu.Unlock()
+}
+
+// Value returns a series' current value (counters and gauges; the
+// count for histograms). Zero for a never-touched series.
+func (f *Family) Value(labelVals ...string) float64 {
+	f.r.mu.Lock()
+	defer f.r.mu.Unlock()
+	s := f.at(labelVals)
+	if f.kind == "histogram" {
+		return s.n
+	}
+	return s.val
+}
+
+// WriteText renders the whole registry in the Prometheus text
+// exposition format under one lock — the consistent snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 && len(f.labels) == 0 && f.kind != "histogram" {
+			// An unlabelled counter/gauge always exposes its zero value,
+			// so rate() and dashboards see the series from boot.
+			fmt.Fprintf(&b, "%s 0\n", f.name)
+		}
+		for _, k := range keys {
+			s := f.series[k]
+			if f.kind == "histogram" {
+				cum := 0.0
+				for i, bound := range f.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %s\n", f.name,
+						labelStr(f.labels, s.labelVals, "le", formatFloat(bound)), formatFloat(cum))
+				}
+				cum += s.counts[len(f.buckets)]
+				fmt.Fprintf(&b, "%s_bucket%s %s\n", f.name,
+					labelStr(f.labels, s.labelVals, "le", "+Inf"), formatFloat(cum))
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(s.sum))
+				fmt.Fprintf(&b, "%s_count%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(cum))
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(s.val))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelStr renders a label set (plus one optional extra pair, used for
+// le) as {k="v",...}, or "" when empty.
+func labelStr(names, vals []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, vals[i])
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// integers without exponent, +Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

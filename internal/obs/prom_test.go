@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	req := r.Counter("app_requests_total", "Requests received.")
+	byOut := r.Counter("app_compiles_total", "Compiles by outcome.", "scheduler", "outcome")
+	r.Gauge("app_running", "Active workers.").Set(3)
+	r.GaugeFunc("app_cache_entries", "Cache size.", func() float64 { return 42 })
+	lat := r.Histogram("app_compile_seconds", "Latency.", []float64{0.01, 0.1, 1})
+
+	req.Inc()
+	req.Add(2)
+	byOut.Inc("slack", "ok")
+	byOut.Inc("slack", "ok")
+	byOut.Inc("cydrome", "infeasible")
+	lat.Observe(0.005)
+	lat.Observe(0.5)
+	lat.Observe(30)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_requests_total counter\napp_requests_total 3\n",
+		`app_compiles_total{scheduler="cydrome",outcome="infeasible"} 1`,
+		`app_compiles_total{scheduler="slack",outcome="ok"} 2`,
+		"app_running 3",
+		"app_cache_entries 42",
+		`app_compile_seconds_bucket{le="0.01"} 1`,
+		`app_compile_seconds_bucket{le="0.1"} 1`,
+		`app_compile_seconds_bucket{le="1"} 2`,
+		`app_compile_seconds_bucket{le="+Inf"} 3`,
+		"app_compile_seconds_sum 30.505",
+		"app_compile_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("registry output fails its own lint: %v\n%s", errs, out)
+	}
+	if got := req.Value(); got != 3 {
+		t.Fatalf("Value = %v, want 3", got)
+	}
+}
+
+// A never-incremented unlabelled counter still exposes a zero sample.
+func TestRegistryZeroSample(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_panics_total", "Panics.")
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "app_panics_total 0\n") {
+		t.Fatalf("zero counter not exposed:\n%s", b.String())
+	}
+}
+
+// The registry is one lock: concurrent mutation during scrapes must be
+// race-free (run under -race) and never lose a count.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_ops_total", "Ops.", "kind")
+	h := r.Histogram("app_lat_seconds", "Latency.", ExpBuckets(0.001, 10, 4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc("a")
+				h.Observe(float64(i) / 100)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WriteText(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Value("a"); got != 4000 {
+		t.Fatalf("counter = %v, want 4000", got)
+	}
+	if got := h.Value(); got != 4000 {
+		t.Fatalf("histogram count = %v, want 4000", got)
+	}
+}
+
+func TestLintCatchesBadExposition(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no type", "app_x_total 1\n"},
+		{"bad type", "# TYPE app_x_total wibble\napp_x_total 1\n"},
+		{"counter name", "# TYPE app_x counter\napp_x 1\n"},
+		{"bad value", "# TYPE app_x_total counter\napp_x_total banana\n"},
+		{"duplicate", "# TYPE app_x_total counter\napp_x_total 1\napp_x_total 2\n"},
+		{"unterminated labels", "# TYPE app_x_total counter\napp_x_total{a=\"b 1\n"},
+		{"unquoted label", "# TYPE app_x_total counter\napp_x_total{a=b} 1\n"},
+		{"missing inf", "# TYPE app_h histogram\napp_h_bucket{le=\"1\"} 1\napp_h_sum 1\napp_h_count 1\n"},
+		{"bad label name", "# TYPE app_x_total counter\napp_x_total{0a=\"b\"} 1\n"},
+	}
+	for _, c := range cases {
+		if errs := LintExposition(strings.NewReader(c.in)); len(errs) == 0 {
+			t.Errorf("%s: lint accepted bad input:\n%s", c.name, c.in)
+		}
+	}
+	good := "# HELP app_x_total Fine.\n# TYPE app_x_total counter\napp_x_total{a=\"b\\\"c\"} 1\n" +
+		"# TYPE app_h histogram\napp_h_bucket{le=\"1\"} 1\napp_h_bucket{le=\"+Inf\"} 2\napp_h_sum 3\napp_h_count 2\n"
+	if errs := LintExposition(strings.NewReader(good)); len(errs) > 0 {
+		t.Fatalf("lint rejected good input: %v", errs)
+	}
+}

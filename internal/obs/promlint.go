@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Promtool-style linter for the text exposition format. CI scrapes the
+// live /metrics endpoint and fails the build when the output stops
+// parsing — catching the classic regressions (unescaped label values,
+// samples with no TYPE, histograms missing their +Inf bucket,
+// duplicated series) before a real Prometheus does.
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promFamily is the linter's view of one declared family.
+type promFamily struct {
+	kind    string
+	samples int
+	infSeen map[string]bool // histogram: label-set key → +Inf bucket seen
+}
+
+// LintExposition validates a text-format exposition payload, returning
+// every problem found (nil for a clean payload). Rules, in the spirit
+// of promtool check metrics:
+//
+//   - HELP/TYPE comments are well-formed and TYPE precedes samples;
+//   - metric and label names match the Prometheus grammar;
+//   - every sample belongs to a declared family (histograms may add
+//     _bucket/_sum/_count suffixes) and its value parses;
+//   - counters are named *_total;
+//   - no series (name + label set) appears twice;
+//   - every histogram series has a +Inf bucket.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	fams := map[string]*promFamily{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				continue // free-form comment: legal
+			}
+			name := parts[2]
+			if !metricNameRe.MatchString(name) {
+				fail(n, "invalid metric name %q in %s comment", name, parts[1])
+				continue
+			}
+			if parts[1] == "TYPE" {
+				if len(parts) != 4 {
+					fail(n, "TYPE comment for %q missing a type", name)
+					continue
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(n, "unknown type %q for %q", parts[3], name)
+					continue
+				}
+				if f, ok := fams[name]; ok && f.samples > 0 {
+					fail(n, "TYPE for %q declared after its samples", name)
+				}
+				if parts[3] == "counter" && !strings.HasSuffix(name, "_total") {
+					fail(n, "counter %q should end in _total", name)
+				}
+				fams[name] = &promFamily{kind: parts[3], infSeen: map[string]bool{}}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		fam, base := lookupFamily(fams, name)
+		if fam == nil {
+			fail(n, "sample %q has no preceding TYPE declaration", name)
+			continue
+		}
+		fam.samples++
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			fail(n, "sample %q has unparseable value %q", name, value)
+		}
+		var le string
+		var rest []string
+		for _, kv := range labels {
+			if !labelNameRe.MatchString(kv[0]) {
+				fail(n, "sample %q has invalid label name %q", name, kv[0])
+			}
+			if kv[0] == "le" && strings.HasSuffix(name, "_bucket") {
+				le = kv[1]
+				continue
+			}
+			rest = append(rest, kv[0]+"="+kv[1])
+		}
+		key := name + "{" + strings.Join(rest, ",") + ",le=" + le + "}"
+		if seen[key] {
+			fail(n, "duplicate series %s", key)
+		}
+		seen[key] = true
+		if fam.kind == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if le == "" {
+				fail(n, "histogram bucket %q missing le label", name)
+			}
+			if le == "+Inf" {
+				fam.infSeen[base+"{"+strings.Join(rest, ",")+"}"] = true
+			} else {
+				setKey := base + "{" + strings.Join(rest, ",") + "}"
+				if !fam.infSeen[setKey] {
+					fam.infSeen[setKey] = false
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+	for name, f := range fams {
+		if f.kind == "histogram" {
+			for set, ok := range f.infSeen {
+				if !ok {
+					errs = append(errs, fmt.Errorf("histogram %s series %s has no +Inf bucket", name, set))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// lookupFamily resolves a sample name to its declared family, peeling
+// histogram/summary suffixes; it returns the family and the base name.
+func lookupFamily(fams map[string]*promFamily, name string) (*promFamily, string) {
+	if f, ok := fams[name]; ok {
+		return f, name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.kind == "histogram" || f.kind == "summary") {
+			return f, base
+		}
+	}
+	return nil, ""
+}
+
+// parseSample splits one sample line into name, label pairs, and the
+// value text.
+func parseSample(line string) (name string, labels [][2]string, value string, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for len(body) > 0 {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed label in %q", line)
+			}
+			lname := strings.TrimSpace(body[:eq])
+			body = strings.TrimSpace(body[eq+1:])
+			if len(body) == 0 || body[0] != '"' {
+				return "", nil, "", fmt.Errorf("unquoted label value in %q", line)
+			}
+			closeQ := -1
+			for j := 1; j < len(body); j++ {
+				if body[j] == '\\' {
+					j++
+					continue
+				}
+				if body[j] == '"' {
+					closeQ = j
+					break
+				}
+			}
+			if closeQ < 0 {
+				return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
+			}
+			lval, uerr := strconv.Unquote(body[:closeQ+1])
+			if uerr != nil {
+				return "", nil, "", fmt.Errorf("bad label value escaping in %q", line)
+			}
+			labels = append(labels, [2]string{lname, lval})
+			body = strings.TrimSpace(body[closeQ+1:])
+			body = strings.TrimPrefix(body, ",")
+			body = strings.TrimSpace(body)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return "", nil, "", fmt.Errorf("malformed sample tail in %q", line)
+	}
+	return name, labels, fields[0], nil
+}

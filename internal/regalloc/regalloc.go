@@ -19,11 +19,13 @@
 package regalloc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/lifetime"
+	"repro/internal/obs"
 )
 
 // Strategy selects how a feasible offset is chosen among candidates.
@@ -121,6 +123,19 @@ func Allocate(ranges []lifetime.Range, ii int, strat Strategy, order Order) Allo
 			return alloc
 		}
 	}
+}
+
+// AllocateContext is Allocate under a context: when the context carries
+// an obs.Trace it records a "regalloc" span with the value count, the
+// strategy, and the resulting file size.
+func AllocateContext(ctx context.Context, ranges []lifetime.Range, ii int, strat Strategy, order Order) Allocation {
+	sp := obs.FromContext(ctx).Start("regalloc").
+		Int("values", int64(len(ranges))).
+		Int("ii", int64(ii)).
+		Str("strategy", strat.String())
+	a := Allocate(ranges, ii, strat, order)
+	sp.Int("registers", int64(a.N)).End(obs.OutcomeOK)
+	return a
 }
 
 func orderValues(ranges []lifetime.Range, order Order) []lifetime.Range {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mii"
 	"repro/internal/mindist"
+	"repro/internal/obs"
 )
 
 // Policy supplies the heuristic decisions of the central loop.
@@ -158,7 +159,8 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
 	}
 	started := time.Now()
-	bounds, err := mii.Compute(l)
+	tr := obs.FromContext(ctx)
+	bounds, err := mii.ComputeContext(ctx, l)
 	if err != nil {
 		return nil, fmt.Errorf("sched: loop %s: %w", l.Name, err)
 	}
@@ -174,7 +176,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 	}
 
 	guard := newBudgetGuard(ctx, s.cfg.Budget)
-	obs := s.cfg.EventSink()
+	sink := s.cfg.EventSink()
 
 	// The cache computes the first II directly and answers retries from
 	// the parametric relation in O(n²), reusing one table's backing
@@ -183,6 +185,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 	// cache polls the guard so even MinDist construction is bounded.
 	cache := mindist.NewCache(l)
 	cache.SetStop(guard.stop())
+	cache.SetTrace(tr)
 	for ii <= maxII {
 		if reason := guard.attemptExceeded(&res.Stats, res.Stats.IIAttempts); reason != "" {
 			res.Stats.Elapsed = time.Since(started)
@@ -193,7 +196,9 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		var md *mindist.Table
 		var err error
 		if s.cfg.NoFastPaths {
+			sp := tr.Start("mindist").Int("ii", int64(ii)).Str("mode", "direct")
 			md, err = mindist.Compute(l, ii)
+			sp.End(mindistOutcome(err))
 		} else {
 			md, err = cache.At(ii)
 		}
@@ -214,23 +219,30 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		}
 		res.MinDist = md
 		caStart := time.Now()
+		itersBefore := res.Stats.CentralIters
+		spa := tr.Start("attempt").Int("ii", int64(ii))
 		st := newState(l, ii, md)
 		st.noIncremental = s.cfg.NoFastPaths
-		if obs != nil {
-			st.obs = obs
+		if sink != nil {
+			st.obs = sink
 			st.evt = Event{Loop: l.Name, Policy: s.policy.Name(), II: ii, Op: -1}
 			e := st.evt
 			e.Kind = EvAttemptStart
-			obs.Event(e)
+			sink.Event(e)
 		}
-		ok, reason := s.attempt(st, &res.Stats, &guard, obs)
+		ok, reason := s.attempt(st, &res.Stats, &guard, sink)
 		res.Stats.CentralTime += time.Since(caStart)
-		if obs != nil {
+		outcome := attemptOutcome(ok, reason)
+		spa.Int("iters", res.Stats.CentralIters-itersBefore).
+			Int("ejections", int64(st.ejections)).
+			End(outcome.String())
+		if sink != nil {
 			e := st.evt
 			e.Kind = EvAttemptEnd
 			e.OK = ok
+			e.Outcome = outcome
 			e.Ejections = st.ejections
-			obs.Event(e)
+			sink.Event(e)
 		}
 		if reason != "" {
 			res.FailedII = ii
@@ -244,11 +256,11 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		}
 		res.Stats.Restarts++
 		res.FailedII = ii
-		if obs != nil {
+		if sink != nil {
 			e := st.evt
 			e.Kind = EvRestart
 			e.Ejections = st.ejections
-			obs.Event(e)
+			sink.Event(e)
 		}
 		ii = s.nextII(ii)
 	}
@@ -260,6 +272,20 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		MaxII:  maxII,
 		LastII: res.FailedII,
 		Stats:  res.Stats,
+	}
+}
+
+// mindistOutcome classifies a MinDist computation for its span: stopped
+// tables mean the budget tripped mid-build; any other error means the II
+// violated a recurrence (infeasible at this II).
+func mindistOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, mindist.ErrStopped):
+		return obs.OutcomeBudgetExhausted
+	default:
+		return obs.OutcomeInfeasible
 	}
 }
 
@@ -314,7 +340,7 @@ func (s *Scheduler) autoMaxII(l *ir.Loop, b mii.Bounds) int {
 // is exhausted (step 6) or, defensively, when the iteration cap trips;
 // a non-empty stopReason aborts the attempt because the caller's
 // Budget or context ran out.
-func (s *Scheduler) attempt(st *State, stats *Stats, g *budgetGuard, obs Observer) (ok bool, stopReason string) {
+func (s *Scheduler) attempt(st *State, stats *Stats, g *budgetGuard, sink Observer) (ok bool, stopReason string) {
 	budget := st.n * s.cfg.EjectBudgetPerOp
 	if budget < s.cfg.MinEjectBudget {
 		budget = s.cfg.MinEjectBudget
@@ -376,7 +402,7 @@ func (s *Scheduler) attempt(st *State, stats *Stats, g *budgetGuard, obs Observe
 			}
 		}
 
-		if obs != nil {
+		if sink != nil {
 			e := st.evt
 			e.Kind = EvPlace
 			e.Iter = iter
@@ -384,7 +410,7 @@ func (s *Scheduler) attempt(st *State, stats *Stats, g *budgetGuard, obs Observe
 			e.Estart = st.estart[x]
 			e.Lstart = st.lstart[x]
 			e.Cycle = cycle
-			obs.Event(e)
+			sink.Event(e)
 		}
 		if cycle == ir.Unplaced {
 			// Step 3: create room by ejection. Force the op into
@@ -408,14 +434,14 @@ func (s *Scheduler) attempt(st *State, stats *Stats, g *budgetGuard, obs Observe
 			if !forced {
 				return false, "" // cannot avoid ejecting brtop: give up this II
 			}
-			if obs != nil {
+			if sink != nil {
 				e := st.evt
 				e.Kind = EvForce
 				e.Iter = iter
 				e.Op = x
 				e.Cycle = cycle
 				e.Ejections = st.ejections
-				obs.Event(e)
+				sink.Event(e)
 			}
 			st.place(x, cycle)
 		} else {

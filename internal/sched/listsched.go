@@ -11,6 +11,7 @@ import (
 	"repro/internal/mii"
 	"repro/internal/mindist"
 	"repro/internal/mrt"
+	"repro/internal/obs"
 )
 
 // ListSchedule is ListScheduleContext with a background context and the
@@ -46,7 +47,8 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 	}
 	cfg = cfg.withDefaults()
 	started := time.Now()
-	bounds, err := mii.Compute(l)
+	tr := obs.FromContext(ctx)
+	bounds, err := mii.ComputeContext(ctx, l)
 	if err != nil {
 		return nil, fmt.Errorf("sched: loop %s: %w", l.Name, err)
 	}
@@ -59,7 +61,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 	n := len(l.Ops)
 
 	guard := newBudgetGuard(ctx, cfg.Budget)
-	obs := cfg.EventSink()
+	sink := cfg.EventSink()
 	budgetStop := func(reason string, ii int) (*Result, error) {
 		res.Stats.Elapsed = time.Since(started)
 		e := &BudgetError{
@@ -74,6 +76,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 
 	cache := mindist.NewCache(l)
 	cache.SetStop(guard.stop())
+	cache.SetTrace(tr)
 	for ii := bounds.MII; ii <= maxII; ii++ {
 		if reason := guard.attemptExceeded(&res.Stats, res.Stats.IIAttempts); reason != "" {
 			return budgetStop(reason, ii)
@@ -102,12 +105,14 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 		res.MinDist = md
 
 		evt := Event{Loop: l.Name, Policy: "list", II: ii, Op: -1}
-		if obs != nil {
+		if sink != nil {
 			e := evt
 			e.Kind = EvAttemptStart
-			obs.Event(e)
+			sink.Event(e)
 		}
 		caStart := time.Now()
+		itersBefore := res.Stats.CentralIters
+		spa := tr.Start("attempt").Int("ii", int64(ii)).Str("policy", "list")
 		// Height priority: longest path to Stop at this II.
 		order := make([]int, n)
 		for i := range order {
@@ -171,7 +176,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 					break
 				}
 			}
-			if obs != nil {
+			if sink != nil {
 				e := evt
 				e.Kind = EvPlace
 				e.Iter = iter
@@ -183,7 +188,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 				} else {
 					e.Cycle = ir.Unplaced
 				}
-				obs.Event(e)
+				sink.Event(e)
 			}
 			if !placed {
 				ok = false
@@ -191,11 +196,14 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 			}
 		}
 		res.Stats.CentralTime += time.Since(caStart)
-		if obs != nil {
+		outcome := attemptOutcome(ok && stopReason == "", stopReason)
+		spa.Int("iters", res.Stats.CentralIters-itersBefore).End(outcome.String())
+		if sink != nil {
 			e := evt
 			e.Kind = EvAttemptEnd
 			e.OK = ok && stopReason == ""
-			obs.Event(e)
+			e.Outcome = outcome
+			sink.Event(e)
 		}
 		if stopReason != "" {
 			res.FailedII = ii
@@ -207,10 +215,10 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 			return res, nil
 		}
 		res.FailedII = ii
-		if obs != nil {
+		if sink != nil {
 			e := evt
 			e.Kind = EvRestart
-			obs.Event(e)
+			sink.Event(e)
 		}
 	}
 	res.Stats.Elapsed = time.Since(started)

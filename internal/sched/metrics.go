@@ -17,6 +17,13 @@ type Metrics struct {
 	Attempts   int64 `json:"attempts"`
 	AttemptsOK int64 `json:"attempts_ok"`
 
+	// AttemptOutcomes counts finished attempts by AttemptOutcome — the
+	// dimension the flat OK bit loses: a budget-exhausted attempt
+	// (deadline, central-iteration or II-attempt cap) is distinguishable
+	// from a cancelled one and from an ordinary heuristic give-up.
+	// Indexed by AttemptOutcome; see OutcomeCounts for the named view.
+	AttemptOutcomes [numAttemptOutcomes]int64 `json:"-"`
+
 	// ScanFailures counts EvPlace events whose window scan found no
 	// conflict-free cycle (each is followed by a force or a give-up).
 	ScanFailures int64 `json:"scan_failures"`
@@ -46,6 +53,9 @@ func (m *Metrics) Event(e Event) {
 	case EvAttemptEnd:
 		if e.OK {
 			m.AttemptsOK++
+		}
+		if int(e.Outcome) < len(m.AttemptOutcomes) {
+			m.AttemptOutcomes[e.Outcome]++
 		}
 		m.EjectionsPerAttempt[histBucket(e.Ejections)]++
 	case EvDegraded:
@@ -79,6 +89,9 @@ func (m *Metrics) Merge(other *Metrics) {
 	}
 	m.Attempts += other.Attempts
 	m.AttemptsOK += other.AttemptsOK
+	for i := range m.AttemptOutcomes {
+		m.AttemptOutcomes[i] += other.AttemptOutcomes[i]
+	}
 	m.ScanFailures += other.ScanFailures
 	for i := range m.EjectionsPerAttempt {
 		m.EjectionsPerAttempt[i] += other.EjectionsPerAttempt[i]
@@ -92,6 +105,16 @@ func (m *Metrics) EventCounts() map[string]int64 {
 	out := make(map[string]int64, numEventKinds)
 	for k := EventKind(0); k < numEventKinds; k++ {
 		out[k.String()] = m.Events[k]
+	}
+	return out
+}
+
+// OutcomeCounts returns the finished-attempt counters keyed by the
+// outcome's stable wire name (for JSON and Prometheus emission).
+func (m *Metrics) OutcomeCounts() map[string]int64 {
+	out := make(map[string]int64, numAttemptOutcomes)
+	for o := AttemptOutcome(0); o < numAttemptOutcomes; o++ {
+		out[o.String()] = m.AttemptOutcomes[o]
 	}
 	return out
 }

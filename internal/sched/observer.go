@@ -5,6 +5,76 @@ import (
 	"io"
 )
 
+// AttemptOutcome classifies how one II attempt ended; it is stamped on
+// EvAttemptEnd events so aggregations can tell a heuristic give-up from
+// a budget exhaustion, and a budget exhaustion from a cancellation.
+type AttemptOutcome uint8
+
+// The attempt outcomes.
+const (
+	// AttemptOK: the attempt produced a complete schedule.
+	AttemptOK AttemptOutcome = iota
+	// AttemptGiveUp: the ejection budget or iteration cap tripped and
+	// the scheduler moves to a higher II (step 6).
+	AttemptGiveUp
+	// AttemptDeadline: the Budget's wall-clock deadline expired.
+	AttemptDeadline
+	// AttemptCentralIters: the Budget's central-iteration cap tripped.
+	AttemptCentralIters
+	// AttemptIIAttempts: the Budget's II-attempt cap tripped.
+	AttemptIIAttempts
+	// AttemptCanceled: the caller's context was canceled.
+	AttemptCanceled
+
+	numAttemptOutcomes // count; keep last
+)
+
+// String returns the outcome's stable wire name.
+func (o AttemptOutcome) String() string {
+	switch o {
+	case AttemptOK:
+		return "ok"
+	case AttemptGiveUp:
+		return "give-up"
+	case AttemptDeadline:
+		return ReasonDeadline
+	case AttemptCentralIters:
+		return ReasonCentralIters
+	case AttemptIIAttempts:
+		return ReasonIIAttempts
+	case AttemptCanceled:
+		return ReasonCanceled
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// MarshalJSON renders the wire name, keeping flight-recorder dumps and
+// metrics JSON readable.
+func (o AttemptOutcome) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", o.String())), nil
+}
+
+// attemptOutcome folds the engine's (ok, stopReason) pair into the
+// typed outcome.
+func attemptOutcome(ok bool, stopReason string) AttemptOutcome {
+	switch stopReason {
+	case "":
+		if ok {
+			return AttemptOK
+		}
+		return AttemptGiveUp
+	case ReasonDeadline:
+		return AttemptDeadline
+	case ReasonCentralIters:
+		return AttemptCentralIters
+	case ReasonIIAttempts:
+		return AttemptIIAttempts
+	case ReasonCanceled:
+		return AttemptCanceled
+	}
+	return AttemptGiveUp
+}
+
 // EventKind enumerates the structured events of one scheduling run. The
 // stream for a given (loop, policy, Config) is deterministic: the
 // scheduler itself is deterministic, so two runs — serial or inside a
@@ -59,6 +129,12 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("event(%d)", int(k))
 }
 
+// MarshalJSON renders the wire name, so flight-recorder dumps carry
+// "place"/"force"/… instead of bare ordinals.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
 // Event is one typed observation from a scheduling run. Loop, Policy and
 // II identify the attempt; the remaining fields are meaningful per kind
 // (see the EventKind constants).
@@ -74,6 +150,11 @@ type Event struct {
 	Estart, Lstart int  // the op's bounds when chosen (EvPlace)
 	Ejections      int  // ejections charged so far in this attempt (EvForce, EvEject, EvRestart, EvAttemptEnd)
 	OK             bool // EvAttemptEnd: the attempt produced a complete schedule
+
+	// Outcome classifies EvAttemptEnd beyond the OK bit: a heuristic
+	// give-up (restart at higher II), a budget exhaustion (and which
+	// bound), or a cancellation. AttemptOK iff OK.
+	Outcome AttemptOutcome
 }
 
 // Observer receives the typed event stream of a scheduling run. The

@@ -193,3 +193,39 @@ func TestMetricsMergeMatchesSerial(t *testing.T) {
 		t.Fatalf("metrics did not count anything: %+v", merged)
 	}
 }
+
+// The outcome dimension survives Merge and always reconciles with the
+// flat Attempts/AttemptsOK counters — the dimension is additive, never
+// an alternative count. (Mid-attempt exhaustion and cancellation
+// specifics are covered in outcome_test.go.)
+func TestMetricsOutcomeDimension(t *testing.T) {
+	m := machine.Cydra()
+	merged := &Metrics{}
+	for _, l := range fixture.All(m) {
+		per := &Metrics{}
+		cfg := tinyEject
+		cfg.Observer = per
+		if _, err := Slack(cfg).Schedule(l); err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(per)
+	}
+	var total int64
+	for _, n := range merged.AttemptOutcomes {
+		total += n
+	}
+	if total != merged.Attempts {
+		t.Fatalf("outcome total %d != attempts %d", total, merged.Attempts)
+	}
+	if merged.AttemptOutcomes[AttemptOK] != merged.AttemptsOK {
+		t.Fatalf("ok outcomes %d != AttemptsOK %d",
+			merged.AttemptOutcomes[AttemptOK], merged.AttemptsOK)
+	}
+	counts := merged.OutcomeCounts()
+	if counts[AttemptCentralIters.String()] != 0 || counts[AttemptCanceled.String()] != 0 {
+		t.Fatalf("unbudgeted, uncancelled sweep filed budget/cancel outcomes: %v", counts)
+	}
+	if counts[AttemptGiveUp.String()] == 0 {
+		t.Fatalf("tinyEject sweep recorded no give-ups: %v", counts)
+	}
+}

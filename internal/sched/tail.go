@@ -1,0 +1,103 @@
+package sched
+
+import "repro/internal/obs"
+
+// DefaultTailEvents is TailRecorder's default capacity: enough to hold
+// the whole stream of a typical loop and the interesting end of a
+// pathological one.
+const DefaultTailEvents = 256
+
+// TailRecorder is an Observer that keeps the last N events of a run in
+// a ring buffer — the raw material of a flight-recorder entry. Append
+// is an index increment and a struct store; no locking (one recorder
+// per run, the Observer contract).
+//
+// The tail is lossless for runs shorter than the capacity, which is
+// what makes flight-recorder replay exact: TextObserver over Tail()
+// reproduces the trace of the original run byte for byte (a golden
+// test holds this).
+type TailRecorder struct {
+	buf     []Event
+	next    int
+	total   int
+	wrapped bool
+}
+
+// NewTailRecorder returns a recorder keeping the last max events
+// (DefaultTailEvents when max <= 0).
+func NewTailRecorder(max int) *TailRecorder {
+	if max <= 0 {
+		max = DefaultTailEvents
+	}
+	return &TailRecorder{buf: make([]Event, max)}
+}
+
+// Event implements Observer.
+func (t *TailRecorder) Event(e Event) {
+	t.buf[t.next] = e
+	t.next++
+	t.total++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Tail returns the retained events oldest-first (a copy).
+func (t *TailRecorder) Tail() []Event {
+	if !t.wrapped {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// Dropped reports how many events fell off the front of the ring.
+func (t *TailRecorder) Dropped() int {
+	if !t.wrapped {
+		return 0
+	}
+	return t.total - len(t.buf)
+}
+
+// Total reports how many events the run emitted.
+func (t *TailRecorder) Total() int { return t.total }
+
+// AttachTail copies the retained events onto an obs.Trace — the flight
+// recorder's retention rule is that failed and degraded compiles carry
+// their event tail; callers invoke this only on those outcomes.
+// Nil-safe on the trace.
+func (t *TailRecorder) AttachTail(tr *obs.Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	tail := t.Tail()
+	tr.Tail = make([]any, len(tail))
+	for i := range tail {
+		tr.Tail[i] = tail[i]
+	}
+	tr.TailDropped = t.Dropped()
+}
+
+// EventsFromTail recovers the typed events from a trace tail written by
+// AttachTail, dropping anything foreign (a trace produced by another
+// program version, say). The result replays through any Observer.
+func EventsFromTail(tail []any) []Event {
+	out := make([]Event, 0, len(tail))
+	for _, v := range tail {
+		if e, ok := v.(Event); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Replay feeds a recorded event sequence to an observer — flight
+// recorder reconstruction: replaying a run's tail through TextObserver
+// regenerates the exact trace text of the original run.
+func Replay(events []Event, o Observer) {
+	for _, e := range events {
+		o.Event(e)
+	}
+}

@@ -133,7 +133,11 @@ func (g *drainGate) inFlight() int {
 // a singleflight leader and its followers.
 type outcome struct {
 	status int
-	body   []byte
+	// name is the obs outcome label for this terminal state — the value
+	// stamped on the flight-recorder trace, the {outcome} metric label,
+	// and the structured request log.
+	name string
+	body []byte
 	// cacheable marks deterministic outcomes (success, infeasible)
 	// that may enter the result cache; budget-exhausted, degraded, and
 	// error outcomes are excluded (DESIGN.md §5c).

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the process-introspection surface: the standard
+// net/http/pprof endpoints and the flight recorder. It is deliberately
+// not part of Handler() — cmd/lsmsd mounts it on a separate listener
+// (-debug-addr) so profiling and trace dumps are never reachable from
+// the public compile port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
+	return mux
+}
+
+// handleFlightRecorder dumps the last-N compile traces, newest last,
+// including the event tail retained for failed and degraded runs.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
+}

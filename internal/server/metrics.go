@@ -5,56 +5,159 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
-// handleMetrics renders the service counters and the folded scheduler
-// event stream in the Prometheus text exposition format — scrapeable,
-// greppable, and dependency-free.
+// metrics is the server's obs.Registry plus the handles the request
+// path mutates. Every mutation and the whole scrape render run under
+// the registry's one mutex, so a scrape observes a single consistent
+// snapshot: a request counted in lsmsd_requests_total is also counted
+// in exactly one tier/outcome counter — the guarantee the old
+// per-atomic /metrics could not make (a scrape could land between the
+// requests_total increment and the outcome increment and see totals
+// that do not add up).
+type metrics struct {
+	reg *obs.Registry
+
+	requests        *obs.Family
+	cacheHitsC      *obs.Family
+	cacheMissesC    *obs.Family
+	deduped         *obs.Family
+	rejected        *obs.Family
+	panics          *obs.Family
+	compileOK       *obs.Family
+	compileDegraded *obs.Family
+	infeasible      *obs.Family
+	budgetExhausted *obs.Family
+	badRequests     *obs.Family
+	internalErrors  *obs.Family
+
+	// The scheduler/outcome-labelled view of finished compiles, and the
+	// distribution histograms.
+	compiles       *obs.Family // lsmsd_compiles_total{scheduler,outcome}
+	compileSeconds *obs.Family // lsmsd_compile_seconds{scheduler,outcome}
+	iiOverMII      *obs.Family // lsmsd_ii_over_mii
+	maxLive        *obs.Family // lsmsd_maxlive
+	queueDepth     *obs.Family // lsmsd_queue_depth
+
+	// hits/lookups back the cache-hit-ratio gauge callback: a GaugeFunc
+	// runs under the registry lock and therefore cannot read the
+	// counter families, so the ratio derives from these mirrors.
+	hits, lookups atomic.Int64
+}
+
+func newMetrics(s *Server) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{reg: r}
+	m.requests = r.Counter("lsmsd_requests_total", "Compile requests received.")
+	m.cacheHitsC = r.Counter("lsmsd_cache_hits_total", "Requests answered from the result cache.")
+	m.cacheMissesC = r.Counter("lsmsd_cache_misses_total", "Requests that missed the result cache.")
+	m.deduped = r.Counter("lsmsd_dedup_total", "Requests collapsed onto an identical in-flight compile.")
+	m.rejected = r.Counter("lsmsd_rejected_total", "Requests rejected 429 by admission control.")
+	m.panics = r.Counter("lsmsd_panics_total", "Per-request panics isolated by the compile barrier.")
+	m.compileOK = r.Counter("lsmsd_compile_ok_total", "Compilations that produced a feasible schedule.")
+	m.compileDegraded = r.Counter("lsmsd_compile_degraded_total", "Compilations rescued by the list-scheduler fallback.")
+	m.infeasible = r.Counter("lsmsd_compile_infeasible_total", "Compilations that exhausted the II ceiling.")
+	m.budgetExhausted = r.Counter("lsmsd_compile_budget_exhausted_total", "Compilations that exhausted their budget.")
+	m.badRequests = r.Counter("lsmsd_bad_requests_total", "Malformed or unresolvable requests.")
+	m.internalErrors = r.Counter("lsmsd_internal_errors_total", "Internal failures.")
+
+	m.compiles = r.Counter("lsmsd_compiles_total",
+		"Finished compilations by scheduling policy and outcome.", "scheduler", "outcome")
+	m.compileSeconds = r.Histogram("lsmsd_compile_seconds",
+		"Wall time of one compilation, by scheduling policy and outcome.",
+		obs.ExpBuckets(0.0005, 2, 16), "scheduler", "outcome")
+	m.iiOverMII = r.Histogram("lsmsd_ii_over_mii",
+		"Achieved II over the MII lower bound for feasible schedules (1 = optimal).",
+		[]float64{1, 1.02, 1.05, 1.1, 1.2, 1.3, 1.5, 2, 3})
+	m.maxLive = r.Histogram("lsmsd_maxlive",
+		"MaxLive register pressure of feasible schedules.",
+		obs.ExpBuckets(1, 2, 10))
+	m.queueDepth = r.Histogram("lsmsd_queue_depth",
+		"Admission queue depth observed as each request entered admission.",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128})
+
+	r.GaugeFunc("lsmsd_running", "Compiles holding a worker slot.",
+		func() float64 { return float64(s.adm.running()) })
+	r.GaugeFunc("lsmsd_waiting", "Admitted requests queued for a worker.",
+		func() float64 { return float64(s.adm.waiting()) })
+	r.GaugeFunc("lsmsd_cache_entries", "Responses held by the result cache.",
+		func() float64 { return float64(s.cache.len()) })
+	r.GaugeFunc("lsmsd_cache_hit_ratio", "Cache hits over cache lookups since boot (0 before any lookup).",
+		func() float64 {
+			if n := m.lookups.Load(); n > 0 {
+				return float64(m.hits.Load()) / float64(n)
+			}
+			return 0
+		})
+	r.GaugeFunc("lsmsd_flightrecorder_entries", "Compile traces held by the flight recorder.",
+		func() float64 { return float64(s.flight.Len()) })
+	return m
+}
+
+// cacheHit / cacheMiss keep the hit-ratio mirrors in step with the
+// counter families.
+func (m *metrics) cacheHit() {
+	m.cacheHitsC.Inc()
+	m.hits.Add(1)
+	m.lookups.Add(1)
+}
+
+func (m *metrics) cacheMiss() {
+	m.cacheMissesC.Inc()
+	m.lookups.Add(1)
+}
+
+// compileDone records the labelled counter and latency histogram for
+// one finished compilation.
+func (m *metrics) compileDone(scheduler, outcome string, seconds float64) {
+	m.compiles.Inc(scheduler, outcome)
+	m.compileSeconds.Observe(seconds, scheduler, outcome)
+}
+
+// handleMetrics renders the registry and the folded scheduler event
+// stream in the Prometheus text exposition format — scrapeable,
+// lintable (obs.LintExposition), and dependency-free. The registry
+// renders under its one lock; the scheduler families render from one
+// SafeMetrics snapshot, so each section is internally consistent.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
+	s.m.reg.WriteText(&b)
+	writeSchedFamilies(&b, s.sm.Snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// writeSchedFamilies renders the scheduler event-stream aggregate: the
+// per-kind event counters, the per-outcome attempt counters (the
+// dimension that distinguishes budget-exhausted from cancelled
+// attempts), and the flat effort counters.
+func writeSchedFamilies(b *strings.Builder, m sched.Metrics) {
+	labelled := func(name, help, label string, counts map[string]int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, "%s{%s=%q} %d\n", name, label, k, counts[k])
+		}
+	}
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-
-	counter("lsmsd_requests_total", "Compile requests received.", s.requests.Load())
-	counter("lsmsd_cache_hits_total", "Requests answered from the result cache.", s.cacheHits.Load())
-	counter("lsmsd_cache_misses_total", "Requests that missed the result cache.", s.cacheMisses.Load())
-	counter("lsmsd_dedup_total", "Requests collapsed onto an identical in-flight compile.", s.deduped.Load())
-	counter("lsmsd_rejected_total", "Requests rejected 429 by admission control.", s.rejected.Load())
-	counter("lsmsd_panics_total", "Per-request panics isolated by the compile barrier.", s.panics.Load())
-	counter("lsmsd_compile_ok_total", "Compilations that produced a feasible schedule.", s.compileOK.Load())
-	counter("lsmsd_compile_degraded_total", "Compilations rescued by the list-scheduler fallback.", s.compileDegraded.Load())
-	counter("lsmsd_compile_infeasible_total", "Compilations that exhausted the II ceiling.", s.infeasible.Load())
-	counter("lsmsd_compile_budget_exhausted_total", "Compilations that exhausted their budget.", s.budgetExhausted.Load())
-	counter("lsmsd_bad_requests_total", "Malformed or unresolvable requests.", s.badRequests.Load())
-	counter("lsmsd_internal_errors_total", "Internal failures.", s.internalErrors.Load())
-	gauge("lsmsd_running", "Compiles holding a worker slot.", int64(s.adm.running()))
-	gauge("lsmsd_waiting", "Admitted requests queued for a worker.", int64(s.adm.waiting()))
-	gauge("lsmsd_cache_entries", "Responses held by the result cache.", int64(s.cache.len()))
-
-	m := s.sm.Snapshot()
-	fmt.Fprintf(&b, "# HELP lsmsd_sched_events_total Scheduler events folded across all requests, by kind.\n# TYPE lsmsd_sched_events_total counter\n")
-	counts := m.EventCounts()
-	kinds := make([]string, 0, len(counts))
-	for k := range counts {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	for _, k := range kinds {
-		fmt.Fprintf(&b, "lsmsd_sched_events_total{kind=%q} %d\n", k, counts[k])
-	}
+	labelled("lsmsd_sched_events_total",
+		"Scheduler events folded across all requests, by kind.", "kind", m.EventCounts())
+	labelled("lsmsd_sched_attempt_outcomes_total",
+		"Finished II attempts by outcome (ok, give-up, budget bound, canceled).", "outcome", m.OutcomeCounts())
 	counter("lsmsd_sched_attempts_total", "II attempts across all requests.", m.Attempts)
 	counter("lsmsd_sched_attempts_ok_total", "Successful II attempts.", m.AttemptsOK)
 	counter("lsmsd_sched_scan_failures_total", "Window scans that found no conflict-free cycle.", m.ScanFailures)
 	counter("lsmsd_sched_degradations_total", "List-scheduler fallbacks observed in the event stream.", m.Degradations)
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(b.String()))
 }
 
 // schedEventsTotal sums the snapshot's per-kind counters; tests use it

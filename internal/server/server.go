@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -49,6 +50,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -71,6 +73,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds the request body; default 8 MiB.
 	MaxBodyBytes int64
+	// FlightEntries bounds the flight recorder's ring of recent compile
+	// traces; default obs.DefaultFlightEntries.
+	FlightEntries int
+	// Logger, when non-nil, receives one structured record per compile
+	// request (request ID, loop, scheduler, status, cache tier, outcome,
+	// duration).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -110,22 +119,12 @@ type Server struct {
 	cache   *resultCache
 	flights *flightGroup
 	sm      *sched.SafeMetrics
+	flight  *obs.FlightRecorder
+	m       *metrics
+	logger  *slog.Logger
 	started time.Time
 	gate    *drainGate
-
-	// Counters exposed by /metrics.
-	requests        atomic.Int64
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
-	deduped         atomic.Int64
-	rejected        atomic.Int64
-	panics          atomic.Int64
-	compileOK       atomic.Int64
-	compileDegraded atomic.Int64
-	infeasible      atomic.Int64
-	budgetExhausted atomic.Int64
-	badRequests     atomic.Int64
-	internalErrors  atomic.Int64
+	reqSeq  atomic.Uint64
 }
 
 // New returns a ready-to-serve Server.
@@ -137,9 +136,12 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		sm:      &sched.SafeMetrics{},
+		flight:  obs.NewFlightRecorder(cfg.FlightEntries),
+		logger:  cfg.Logger,
 		started: time.Now(),
 		gate:    newDrainGate(),
 	}
+	s.m = newMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
@@ -170,8 +172,41 @@ func (s *Server) Metrics() sched.Metrics { return s.sm.Snapshot() }
 // CacheLen reports how many responses the result cache holds.
 func (s *Server) CacheLen() int { return s.cache.len() }
 
+// FlightRecorder exposes the ring of recent compile traces —
+// /debug/flightrecorder serves it, and cmd/lsmsd dumps it on SIGQUIT.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// requestID returns the caller's X-Request-Id, or mints a
+// process-unique one, so every log record and flight-recorder entry of
+// this request shares a correlation key.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+}
+
+// logRequest emits the one structured record per compile request.
+func (s *Server) logRequest(reqID, loop, scheduler string, status int, cache, outcome string, d time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.Info("compile",
+		"request_id", reqID,
+		"loop", loop,
+		"scheduler", scheduler,
+		"status", status,
+		"cache", cache,
+		"outcome", outcome,
+		"duration_ms", float64(d.Microseconds())/1000,
+	)
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	start := time.Now()
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
+	s.m.requests.Inc()
 	if !s.gate.enter() {
 		s.writeError(w, http.StatusServiceUnavailable, &wire.Error{
 			Kind: wire.ErrKindShuttingDown, Message: "server is draining",
@@ -204,7 +239,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		schedName = string(core.SchedSlack)
 	}
 	if _, ok := core.Lookup(core.SchedulerName(schedName)); !ok {
-		s.badRequests.Add(1)
+		s.m.badRequests.Inc()
 		s.writeError(w, http.StatusBadRequest, &wire.Error{
 			Kind:    wire.ErrKindUnknownScheduler,
 			Message: fmt.Sprintf("unknown scheduler %q (registered: %v)", schedName, core.Schedulers()),
@@ -219,20 +254,22 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	// Tier 1: the content-addressed result cache.
 	if status, cached, ok := s.cache.get(hash); ok {
-		s.cacheHits.Add(1)
+		s.m.cacheHit()
 		s.writeRaw(w, status, cached, "hit")
+		s.logRequest(reqID, loop.Name, schedName, status, "hit", "cache-hit", time.Since(start))
 		return
 	}
-	s.cacheMisses.Add(1)
+	s.m.cacheMiss()
 
 	// Tier 2: singleflight — concurrent identical requests share one
 	// compilation and its response bytes.
 	c, leader := s.flights.join(hash)
 	if !leader {
-		s.deduped.Add(1)
+		s.m.deduped.Inc()
 		select {
 		case <-c.done:
 			s.writeRaw(w, c.out.status, c.out.body, "dedup")
+			s.logRequest(reqID, loop.Name, schedName, c.out.status, "dedup", c.out.name, time.Since(start))
 		case <-r.Context().Done():
 			s.writeError(w, http.StatusServiceUnavailable, &wire.Error{
 				Kind: wire.ErrKindInternal, Message: "client canceled while waiting for a duplicate in-flight compile",
@@ -242,19 +279,32 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Tier 3: admission control, then a worker slot.
-	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash)
+	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID)
 	if out.cacheable {
 		s.cache.add(hash, out.status, out.body)
 	}
 	s.flights.finish(hash, c, out)
 	s.writeRaw(w, out.status, out.body, "miss")
+	s.logRequest(reqID, loop.Name, schedName, out.status, "miss", out.name, time.Since(start))
+}
+
+// teeObserver fans the scheduler's event stream to the server-wide
+// aggregate and the per-request tail recorder.
+type teeObserver struct{ a, b sched.Observer }
+
+func (t teeObserver) Event(e sched.Event) {
+	t.a.Event(e)
+	t.b.Event(e)
 }
 
 // admitAndCompile runs the admission-controlled compilation and
-// serializes its outcome.
-func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash string) outcome {
+// serializes its outcome, recording the request's trace — spans from
+// every pipeline stage plus, for failed or degraded runs, the tail of
+// the scheduler event stream — into the flight recorder.
+func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash, reqID string) outcome {
+	s.m.queueDepth.Observe(float64(s.adm.waiting()))
 	if !s.adm.tryEnter() {
-		s.rejected.Add(1)
+		s.m.rejected.Inc()
 		return s.errOutcome(http.StatusTooManyRequests, &wire.Error{
 			Kind:    wire.ErrKindOverloaded,
 			Message: fmt.Sprintf("admission queue full (%d running, %d waiting)", s.adm.running(), s.adm.waiting()),
@@ -268,16 +318,31 @@ func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *
 	}
 	defer s.adm.releaseWorker()
 
+	tr := obs.NewTrace(reqID, loop.Name)
+	tr.Scheduler = schedName
+	tail := sched.NewTailRecorder(0)
 	cfg := norm.Options.SchedConfig()
 	cfg.Budget.Deadline = s.effectiveDeadline(cfg.Budget.Deadline)
-	cfg.Observer = s.sm
-	compiled, err := s.safeCompile(ctx, loop, core.Options{
+	cfg.Observer = teeObserver{s.sm, tail}
+	compiled, err := s.safeCompile(obs.WithTrace(ctx, tr), loop, core.Options{
 		Scheduler:   core.SchedulerName(schedName),
 		Config:      cfg,
 		SkipCodegen: true,
 		Degrade:     norm.Options.Degrade,
 	})
-	return s.outcomeOf(norm, loop, schedName, hash, compiled, err)
+	out := s.outcomeOf(norm, loop, schedName, hash, compiled, err)
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	if out.name != obs.OutcomeOK {
+		// Retention rule: only failed and degraded compiles carry their
+		// event tail — that is where replaying the run matters.
+		tail.AttachTail(tr)
+	}
+	tr.Finish(out.name)
+	s.flight.Record(tr)
+	s.m.compileDone(schedName, out.name, tr.Dur.Seconds())
+	return out
 }
 
 // effectiveDeadline applies the server's default and cap to the
@@ -339,13 +404,20 @@ func (s *Server) outcomeOf(norm *wire.Request, loop *ir.Loop, schedName, hash st
 	case err == nil:
 		// fall through to the success body below
 	case errors.As(err, &pe):
-		s.panics.Add(1)
-		return s.respOutcome(http.StatusInternalServerError, resp, &wire.Error{
+		s.m.panics.Inc()
+		return s.respOutcome(http.StatusInternalServerError, obs.OutcomePanic, resp, &wire.Error{
 			Kind: wire.ErrKindPanic, Message: pe.Error(),
 		}, false)
 	case errors.As(err, &be):
-		s.budgetExhausted.Add(1)
-		return s.respOutcome(http.StatusGatewayTimeout, resp, &wire.Error{
+		s.m.budgetExhausted.Inc()
+		// The outcome label carries the exhausted bound (deadline,
+		// central-iterations, ii-attempts, canceled), so the labelled
+		// compile counters can tell cancellation from exhaustion.
+		name := be.Reason
+		if name == "" {
+			name = obs.OutcomeBudgetExhausted
+		}
+		return s.respOutcome(http.StatusGatewayTimeout, name, resp, &wire.Error{
 			Kind:    wire.ErrKindBudgetExhausted,
 			Message: be.Error(),
 			Reason:  be.Reason,
@@ -353,7 +425,7 @@ func (s *Server) outcomeOf(norm *wire.Request, loop *ir.Loop, schedName, hash st
 			LastII:  be.LastII,
 		}, false)
 	case errors.Is(err, sched.ErrInfeasible):
-		s.infeasible.Add(1)
+		s.m.infeasible.Inc()
 		var ie *sched.InfeasibleError
 		e := &wire.Error{Kind: wire.ErrKindInfeasible, Message: err.Error()}
 		if errors.As(err, &ie) {
@@ -361,10 +433,10 @@ func (s *Server) outcomeOf(norm *wire.Request, loop *ir.Loop, schedName, hash st
 		}
 		// An infeasible verdict is deterministic for a given request
 		// (the II ceiling is part of the content hash), so cache it.
-		return s.respOutcome(http.StatusUnprocessableEntity, resp, e, true)
+		return s.respOutcome(http.StatusUnprocessableEntity, obs.OutcomeInfeasible, resp, e, true)
 	default:
-		s.internalErrors.Add(1)
-		return s.respOutcome(http.StatusInternalServerError, resp, &wire.Error{
+		s.m.internalErrors.Inc()
+		return s.respOutcome(http.StatusInternalServerError, obs.OutcomeError, resp, &wire.Error{
 			Kind: wire.ErrKindInternal, Message: err.Error(),
 		}, false)
 	}
@@ -375,17 +447,19 @@ func (s *Server) outcomeOf(norm *wire.Request, loop *ir.Loop, schedName, hash st
 	if !c.OK() {
 		// Defensive: core.CompileContext reports infeasibility via err,
 		// so this branch only guards external Result producers.
-		s.infeasible.Add(1)
-		return s.respOutcome(http.StatusUnprocessableEntity, resp, &wire.Error{
+		s.m.infeasible.Inc()
+		return s.respOutcome(http.StatusUnprocessableEntity, obs.OutcomeInfeasible, resp, &wire.Error{
 			Kind:    wire.ErrKindInfeasible,
 			Message: fmt.Sprintf("no feasible schedule (last II attempted %d)", res.FailedII),
 			MII:     res.Bounds.MII,
 			LastII:  res.FailedII,
 		}, true)
 	}
-	s.compileOK.Add(1)
+	s.m.compileOK.Inc()
+	name := obs.OutcomeOK
 	if c.Degraded {
-		s.compileDegraded.Add(1)
+		s.m.compileDegraded.Inc()
+		name = obs.OutcomeDegraded
 	}
 	sc := res.Schedule
 	resp.II = sc.II
@@ -396,28 +470,32 @@ func (s *Server) outcomeOf(norm *wire.Request, loop *ir.Loop, schedName, hash st
 	resp.MinAvg = c.MinAvg
 	resp.ICR = c.ICR
 	resp.GPRs = c.GPRs
+	if mii := res.Bounds.MII; mii > 0 {
+		s.m.iiOverMII.Observe(float64(sc.II) / float64(mii))
+	}
+	s.m.maxLive.Observe(float64(c.RR.MaxLive))
 	// Degraded schedules come from a wall-clock fallback and are not
 	// reproducible; keep them out of the cache.
-	return s.respOutcome(http.StatusOK, resp, nil, !c.Degraded)
+	return s.respOutcome(http.StatusOK, name, resp, nil, !c.Degraded)
 }
 
-func (s *Server) respOutcome(status int, resp *wire.Response, e *wire.Error, cacheable bool) outcome {
+func (s *Server) respOutcome(status int, name string, resp *wire.Response, e *wire.Error, cacheable bool) outcome {
 	resp.Error = e
 	body, err := json.Marshal(resp)
 	if err != nil {
 		body = []byte(fmt.Sprintf(`{"error":{"kind":%q,"message":%q}}`, wire.ErrKindInternal, err.Error()))
 		status, cacheable = http.StatusInternalServerError, false
 	}
-	return outcome{status: status, body: body, cacheable: cacheable}
+	return outcome{status: status, name: name, body: body, cacheable: cacheable}
 }
 
 func (s *Server) errOutcome(status int, e *wire.Error) outcome {
 	body, _ := json.Marshal(&wire.Response{Error: e})
-	return outcome{status: status, body: body}
+	return outcome{status: status, name: e.Kind, body: body}
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {
-	s.badRequests.Add(1)
+	s.m.badRequests.Inc()
 	s.writeError(w, http.StatusBadRequest, &wire.Error{
 		Kind: wire.ErrKindBadRequest, Message: err.Error(),
 	}, "")

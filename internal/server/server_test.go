@@ -307,11 +307,11 @@ func TestSingleflightDedup(t *testing.T) {
 	// Wait until both requests are in the server (one compiling, one
 	// parked on the flight group), then release.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.deduped.Load() == 0 && time.Now().Before(deadline) {
+	for s.m.deduped.Value() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if s.deduped.Load() != 1 {
-		t.Fatalf("dedup counter: %d, want 1", s.deduped.Load())
+	if n := s.m.deduped.Value(); n != 1 {
+		t.Fatalf("dedup counter: %v, want 1", n)
 	}
 	close(blockRelease)
 
