@@ -1,0 +1,45 @@
+// Per-compile hot-path benchmarks: one op is one core.Compile of one
+// workload loop (round-robin over the corpus, scheduling + pressure, no
+// codegen — the lsmsd serving shape). These are the benchmarks whose
+// ns/op, B/op, and allocs/op feed BENCH_history.jsonl; run with
+//
+//	go test -bench 'BenchmarkCompile' -benchmem
+//
+// The NoPool variant runs the identical code path on virgin memory per
+// compile, so the pair quantifies exactly what arena pooling saves.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func benchCompile(b *testing.B, cfg sched.Config) {
+	s := suite(b)
+	for _, name := range core.Schedulers() {
+		b.Run(string(name), func(b *testing.B) {
+			opt := core.Options{Scheduler: name, Config: cfg, SkipCodegen: true}
+			loops := s.Loops
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(loops[i%len(loops)].CL.Loop, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures one pooled compilation per op, per policy.
+func BenchmarkCompile(b *testing.B) {
+	benchCompile(b, sched.Config{})
+}
+
+// BenchmarkCompileNoPool is BenchmarkCompile with the arena pool
+// bypassed — the differential baseline for allocation accounting.
+func BenchmarkCompileNoPool(b *testing.B) {
+	benchCompile(b, sched.Config{NoPool: true})
+}

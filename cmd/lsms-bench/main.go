@@ -22,6 +22,18 @@
 //	lsms-bench -server http://localhost:8577 [-requests N]
 //	           [-concurrency 8] [-scheduler slack] [-deadline 0]
 //	           [-size 200] [-seed 1993]
+//
+// With -history it instead measures the per-compile hot path (ns/op,
+// B/op, allocs/op per policy plus the deterministic effort counters)
+// and appends one trajectory record to the given JSONL file — the
+// BENCH_history.jsonl format cmd/benchdiff consumes:
+//
+//	lsms-bench -history BENCH_history.jsonl [-sha $(git rev-parse --short HEAD)]
+//	           [-note "arena pooling"] [-size 120] [-seed 1993] [-nopool]
+//
+// -nopool bypasses the scratch-arena pool everywhere (every compile on
+// virgin memory) — the escape hatch mirroring -nofastpaths, and the
+// differential baseline for allocation accounting.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -48,6 +61,10 @@ func main() {
 	metricsjson := flag.String("metricsjson", "", "write the merged event-stream metrics JSON here (implies -exp metrics)")
 	tracedir := flag.String("tracedir", "", "write one Chrome trace_event file per policy into this directory")
 	noFast := flag.Bool("nofastpaths", false, "disable parametric MinDist reuse and incremental bounds (perf attribution baseline)")
+	noPool := flag.Bool("nopool", false, "bypass the scratch-arena pool: every compile on virgin memory (allocation-accounting baseline)")
+	history := flag.String("history", "", "append one per-compile benchmark record to this JSONL trajectory file and exit")
+	sha := flag.String("sha", "unknown", "git commit the -history record describes")
+	note := flag.String("note", "", "free-form annotation for the -history record")
 	deadline := flag.Duration("deadline", 0, "per-loop scheduling deadline (0 = unbudgeted)")
 	degrade := flag.Bool("degrade", false, "fall back to the list scheduler when a loop exhausts its deadline")
 	serverURL := flag.String("server", "", "lsmsd base URL; switches to load-generator mode")
@@ -55,6 +72,17 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "load mode: concurrent client workers")
 	scheduler := flag.String("scheduler", "slack", "load mode: scheduling policy to request")
 	flag.Parse()
+
+	if *history != "" {
+		benches, err := bench.CompileBench(*size, *seed, sched.Config{NoPool: *noPool})
+		check(err)
+		rec := bench.NewHistoryRecord(*sha, time.Now().UTC().Format("2006-01-02"), *note,
+			*size, *seed, *noPool, benches)
+		check(bench.AppendHistory(*history, rec))
+		fmt.Println(rec)
+		fmt.Printf("history record appended to %s\n", *history)
+		return
+	}
 
 	if *serverURL != "" {
 		n := *size
@@ -90,9 +118,10 @@ func main() {
 			s.Parallel = *par
 			s.Degrade = *degrade
 			s.Trace = *tracedir != ""
-			if *noFast || *deadline > 0 {
+			if *noFast || *noPool || *deadline > 0 {
 				cfg := sched.Config{
 					NoFastPaths: *noFast,
+					NoPool:      *noPool,
 					Budget:      sched.Budget{Deadline: *deadline},
 				}
 				for _, n := range core.Schedulers() {

@@ -16,6 +16,7 @@ package circuits
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -195,19 +196,174 @@ func Enumerate(l *ir.Loop, cap int) ([]Circuit, error) {
 // RecMII computes the recurrence-constrained lower bound on II by
 // scanning elementary circuits, falling back to the cost-to-time-ratio
 // method if the census overflows. A loop with no circuits has RecMII 1.
+//
+// RecMII runs on every compile, so it uses a count-only variant of the
+// same Johnson traversal as Enumerate: circuits are folded into the
+// running maximum ratio as they close, never materialized, and the
+// traversal workspace comes from a package pool. The visit order, the
+// census cap, and the error semantics are identical to Enumerate's —
+// the differential tests compare the two directly.
 func RecMII(l *ir.Loop) (int, error) {
-	cs, err := Enumerate(l, 0)
+	rec, err := recMIICounting(l, 0)
 	if errors.Is(err, ErrTooMany) {
 		return RecMIIByRatio(l)
 	}
 	if err != nil {
 		return 0, err
 	}
+	return rec, nil
+}
+
+// recWS is the pooled traversal workspace of recMIICounting.
+type recWS struct {
+	adj     [][]arc
+	blocked []bool
+	bsets   [][]int
+	stack   []int
+	latSum  []int
+	omgSum  []int
+}
+
+var recPool = sync.Pool{New: func() any { return new(recWS) }}
+
+func (w *recWS) sizeFor(n int) {
+	if cap(w.adj) >= n {
+		w.adj = w.adj[:n]
+		w.blocked = w.blocked[:n]
+		w.bsets = w.bsets[:n]
+	} else {
+		w.adj = make([][]arc, n)
+		w.blocked = make([]bool, n)
+		w.bsets = make([][]int, n)
+	}
+	for v := 0; v < n; v++ {
+		w.adj[v] = w.adj[v][:0]
+		w.blocked[v] = false
+		w.bsets[v] = w.bsets[v][:0]
+	}
+	w.stack = w.stack[:0]
+	w.latSum = w.latSum[:0]
+	w.omgSum = w.omgSum[:0]
+}
+
+// recMIICounting mirrors Enumerate's traversal exactly but only counts
+// circuits and folds each one's ⌈L/Ω⌉ into the result. It reports
+// ErrZeroOmega and ErrTooMany under the same conditions Enumerate does
+// (a zero-omega circuit found within the cap wins over overflow).
+func recMIICounting(l *ir.Loop, cap_ int) (int, error) {
+	if cap_ <= 0 {
+		cap_ = DefaultCap
+	}
+	n := len(l.Ops)
+	w := recPool.Get().(*recWS)
+	defer recPool.Put(w)
+	w.sizeFor(n)
+	for _, d := range l.Deps {
+		w.adj[d.From] = append(w.adj[d.From], arc{int(d.To), d.Latency, d.Omega})
+	}
+
 	rec := 1
-	for i := range cs {
-		if r := cs[i].RecMII(); r > rec {
+	count := 0
+	sawZero := false
+	fold := func(lat, omega int) {
+		count++
+		if omega == 0 {
+			sawZero = true
+			return
+		}
+		if r := (lat + omega - 1) / omega; r > rec {
 			rec = r
 		}
+	}
+	for v := 0; v < n; v++ {
+		for _, a := range w.adj[v] {
+			if a.to == v {
+				if a.omega == 0 {
+					return 0, ErrZeroOmega
+				}
+				fold(a.latency, a.omega)
+			}
+		}
+	}
+
+	var unblock func(v int)
+	unblock = func(v int) {
+		w.blocked[v] = false
+		for _, x := range w.bsets[v] {
+			if w.blocked[x] {
+				unblock(x)
+			}
+		}
+		w.bsets[v] = w.bsets[v][:0]
+	}
+
+	overflow := false
+	var circuit func(v, s int) bool
+	circuit = func(v, s int) bool {
+		found := false
+		w.stack = append(w.stack, v)
+		w.blocked[v] = true
+		for _, a := range w.adj[v] {
+			to := a.to
+			if to < s || to == v {
+				continue
+			}
+			if to == s {
+				if count >= cap_ {
+					overflow = true
+					continue
+				}
+				fold(a.latency+w.latSum[len(w.stack)-1], a.omega+w.omgSum[len(w.stack)-1])
+				found = true
+			} else if !w.blocked[to] {
+				w.latSum = append(w.latSum, w.latSum[len(w.latSum)-1]+a.latency)
+				w.omgSum = append(w.omgSum, w.omgSum[len(w.omgSum)-1]+a.omega)
+				if circuit(to, s) {
+					found = true
+				}
+				w.latSum = w.latSum[:len(w.latSum)-1]
+				w.omgSum = w.omgSum[:len(w.omgSum)-1]
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, a := range w.adj[v] {
+				to := a.to
+				if to < s || to == v {
+					continue
+				}
+				dup := false
+				for _, x := range w.bsets[to] {
+					if x == v {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					w.bsets[to] = append(w.bsets[to], v)
+				}
+			}
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+		return found
+	}
+
+	for s := 0; s < n && !overflow; s++ {
+		for v := s; v < n; v++ {
+			w.blocked[v] = false
+			w.bsets[v] = w.bsets[v][:0]
+		}
+		w.latSum = append(w.latSum[:0], 0)
+		w.omgSum = append(w.omgSum[:0], 0)
+		circuit(s, s)
+	}
+
+	if sawZero {
+		return 0, ErrZeroOmega
+	}
+	if overflow {
+		return 0, ErrTooMany
 	}
 	return rec, nil
 }

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -78,6 +79,39 @@ func TestRecMIIMethodsAgree(t *testing.T) {
 		}
 		if byEnum != byRatio {
 			t.Fatalf("trial %d: enumeration says %d, ratio says %d\n%s", trial, byEnum, byRatio, l)
+		}
+	}
+}
+
+// Property: the count-only traversal behind RecMII must agree with a
+// full Enumerate — same maximum ratio, same census count, same errors —
+// on random cyclic graphs and on tiny caps that force overflow.
+func TestRecMIICountingMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		l := randomCyclicLoop(rng)
+		for _, cap_ := range []int{0, 1, 2, 5} {
+			cs, err1 := Enumerate(l, cap_)
+			rec2, err2 := recMIICounting(l, cap_)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d cap %d: error disagreement: %v vs %v", trial, cap_, err1, err2)
+			}
+			if err1 != nil {
+				if errors.Is(err1, ErrTooMany) != errors.Is(err2, ErrTooMany) ||
+					errors.Is(err1, ErrZeroOmega) != errors.Is(err2, ErrZeroOmega) {
+					t.Fatalf("trial %d cap %d: error kind disagreement: %v vs %v", trial, cap_, err1, err2)
+				}
+				continue
+			}
+			rec1 := 1
+			for i := range cs {
+				if r := cs[i].RecMII(); r > rec1 {
+					rec1 = r
+				}
+			}
+			if rec1 != rec2 {
+				t.Fatalf("trial %d cap %d: Enumerate says %d, counting says %d\n%s", trial, cap_, rec1, rec2, l)
+			}
 		}
 	}
 }

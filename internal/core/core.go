@@ -113,6 +113,21 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheduler, opt.Scheduler, Schedulers())
 	}
+	// One pooled arena per compilation: the scheduler, a possible
+	// degrade fallback, and the pressure measurements share its scratch.
+	// The deferred release covers every exit path, including panics
+	// isolated by callers (e.g. the lsmsd panic barrier and the bench
+	// sweep's per-loop guard), so a crashing loop cannot strand scratch.
+	arena := opt.Config.Arena
+	if arena == nil {
+		if opt.Config.NoPool {
+			arena = sched.NewArena()
+		} else {
+			arena = sched.AcquireArena()
+		}
+		opt.Config.Arena = arena
+		defer arena.Release()
+	}
 	tr := obs.FromContext(ctx)
 	if tr != nil {
 		tr.Scheduler = string(opt.Scheduler)
@@ -144,8 +159,8 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 	}
 	s := res.Schedule
 	spp := tr.Start("pressure").Int("ii", int64(s.II))
-	c.RR = lifetime.Measure(l, s, ir.RR)
-	c.ICR = lifetime.ICRUsage(l, s)
+	c.RR = lifetime.MeasureIn(l, s, ir.RR, arena.Lifetime())
+	c.ICR = lifetime.ICRUsageIn(l, s, arena.Lifetime())
 	// Every scheduler plumbs the table at its final II through
 	// res.MinDist, so on success the recompute below never triggers; it
 	// remains as a defensive fallback for external Result producers.
@@ -176,10 +191,11 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 // obs outcome names), infeasibility and other failures map to their own
 // outcomes.
 func scheduleOutcome(err error) string {
+	if err == nil {
+		return obs.OutcomeOK // before declaring be: errors.As forces it to escape
+	}
 	var be *sched.BudgetError
 	switch {
-	case err == nil:
-		return obs.OutcomeOK
 	case errors.As(err, &be):
 		if be.Reason != "" {
 			return be.Reason

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// TestPooledEquivalence is the correctness bar of the arena work: over
+// the full generator corpus and every registered policy, a compilation
+// on pooled (dirty, reused) scratch must be bit-identical to one on
+// virgin memory — same schedule, same pressure numbers, same effort
+// counters, same serialized wire result. The pooled compiles run
+// sequentially, so each one inherits arena state ratcheted and dirtied
+// by a different loop; NoPool then rebuilds every result from fresh
+// allocations for comparison.
+func TestPooledEquivalence(t *testing.T) {
+	size := 120
+	if testing.Short() {
+		size = 36
+	}
+	w, err := loopgen.Build(loopgen.Options{Size: size, Seed: 424})
+	if err != nil {
+		t.Fatalf("building workload: %v", err)
+	}
+	for _, name := range Schedulers() {
+		for _, wl := range w.Loops {
+			pooled := compileResultHash(t, name, wl.Name, wl.CL.Loop, sched.Config{})
+			virgin := compileResultHash(t, name, wl.Name, wl.CL.Loop, sched.Config{NoPool: true})
+			if pooled != virgin {
+				t.Errorf("%s/%s: pooled result diverges from no-pool result: %s vs %s",
+					name, wl.Name, pooled, virgin)
+			}
+		}
+	}
+}
+
+// compileResultHash compiles the loop and hashes the serialized wire
+// form of every deterministic output a server response carries:
+// feasibility, II, the full schedule, the pressure and bound numbers,
+// and the effort counters.
+func compileResultHash(t *testing.T, name SchedulerName, loopName string, l *ir.Loop, cfg sched.Config) string {
+	t.Helper()
+	c, err := Compile(l, Options{Scheduler: name, Config: cfg, SkipCodegen: true})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, loopName, err)
+	}
+	b := c.Result.Bounds
+	resp := wire.Response{
+		Loop:      loopName,
+		Scheduler: string(name),
+		OK:        c.OK(),
+		Bounds:    wire.Bounds{ResMII: b.ResMII, RecMII: b.RecMII, MII: b.MII},
+		Effort:    wire.EffortOf(c.Result.Stats),
+	}
+	if c.OK() {
+		s := c.Result.Schedule
+		resp.II = s.II
+		resp.Length = s.Length()
+		resp.Stages = s.Stages()
+		resp.Times = s.Time
+		resp.MaxLive = c.RR.MaxLive
+		resp.MinAvg = c.MinAvg
+		resp.ICR = c.ICR
+		resp.GPRs = c.GPRs
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, loopName, err)
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(body))
+}

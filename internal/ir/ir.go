@@ -235,6 +235,7 @@ type Loop struct {
 	HasConditional bool
 
 	finalized bool
+	gprCount  int // memoized by Finalize; see GPRCount
 }
 
 // NewLoop returns an empty loop body for the given machine.
@@ -326,6 +327,7 @@ func (l *Loop) Finalize() error {
 
 	l.assignFUs()
 	l.markRecurrences()
+	l.gprCount = l.computeGPRCount()
 	l.finalized = true
 	return nil
 }
@@ -556,11 +558,23 @@ func (l *Loop) CountOps(pred func(*Op) bool) int {
 
 // GPRCount returns the number of loop-invariant registers the loop
 // consumes: def-less GPR values actually read by some op (Figure 7).
+// The count is memoized by Finalize, which every scheduled loop passes
+// through, so the per-compile call is allocation-free.
 func (l *Loop) GPRCount() int {
+	if l.finalized {
+		return l.gprCount
+	}
+	return l.computeGPRCount()
+}
+
+func (l *Loop) computeGPRCount() int {
 	used := make([]bool, len(l.Values))
 	for _, op := range l.Ops {
-		for _, rd := range op.reads() {
+		for _, rd := range op.Args {
 			used[rd.Val] = true
+		}
+		if op.Pred != nil {
+			used[op.Pred.Val] = true
 		}
 	}
 	n := 0

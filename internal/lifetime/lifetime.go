@@ -37,7 +37,12 @@ func (r Range) Len() int { return r.End - r.Start }
 // in-loop reader is live for its defining latency (it still occupies a
 // register until written back).
 func Ranges(l *ir.Loop, s *ir.Schedule, file ir.RegFile) []Range {
-	var out []Range
+	return rangesInto(l, s, file, nil)
+}
+
+// rangesInto is Ranges appending into buf (pass nil to allocate).
+func rangesInto(l *ir.Loop, s *ir.Schedule, file ir.RegFile, buf []Range) []Range {
+	out := buf
 	for _, v := range l.Values {
 		if v.File != file || !v.IsVariant() {
 			continue
@@ -48,6 +53,37 @@ func Ranges(l *ir.Loop, s *ir.Schedule, file ir.RegFile) []Range {
 		}
 	}
 	return out
+}
+
+// Scratch is pooled measurement storage: the range list and the live
+// vector keep their capacity across compiles. It holds no references to
+// loop or schedule data, so pooled reuse needs no reset.
+type Scratch struct {
+	ranges []Range
+	vec    []int
+}
+
+// MeasureIn is Measure using pooled scratch buffers.
+func MeasureIn(l *ir.Loop, s *ir.Schedule, file ir.RegFile, scr *Scratch) Pressure {
+	if scr == nil {
+		return Measure(l, s, file)
+	}
+	scr.ranges = rangesInto(l, s, file, scr.ranges[:0])
+	if cap(scr.vec) >= s.II {
+		scr.vec = scr.vec[:s.II]
+		for i := range scr.vec {
+			scr.vec[i] = 0
+		}
+	} else {
+		scr.vec = make([]int, s.II)
+	}
+	liveVectorInto(scr.ranges, s.II, scr.vec)
+	return pressureOf(scr.vec, s.II)
+}
+
+// ICRUsageIn is ICRUsage using pooled scratch buffers.
+func ICRUsageIn(l *ir.Loop, s *ir.Schedule, scr *Scratch) int {
+	return MeasureIn(l, s, ir.ICR, scr).MaxLive + s.Stages()
 }
 
 func rangeOf(l *ir.Loop, s *ir.Schedule, v *ir.Value) (Range, bool) {
@@ -71,10 +107,18 @@ func rangeOf(l *ir.Loop, s *ir.Schedule, v *ir.Value) (Range, bool) {
 		if t == ir.Unplaced {
 			continue
 		}
-		for _, rd := range op.Reads() {
+		// Walk Args and the predicate directly rather than through
+		// op.Reads(), which copies the operand slice for predicated ops
+		// — this loop runs per (value, op) pair on the compile hot path.
+		for _, rd := range op.Args {
 			if rd.Val != v.ID {
 				continue
 			}
+			if u := t + rd.Omega*s.II; u > end {
+				end = u
+			}
+		}
+		if rd := op.Pred; rd != nil && rd.Val == v.ID {
 			if u := t + rd.Omega*s.II; u > end {
 				end = u
 			}
@@ -87,6 +131,12 @@ func rangeOf(l *ir.Loop, s *ir.Schedule, v *ir.Value) (Range, bool) {
 // counts the values live at cycles congruent to c modulo II (Figure 4).
 func LiveVector(ranges []Range, ii int) []int {
 	vec := make([]int, ii)
+	liveVectorInto(ranges, ii, vec)
+	return vec
+}
+
+// liveVectorInto accumulates the live vector into a zeroed vec of len ii.
+func liveVectorInto(ranges []Range, ii int, vec []int) {
 	for _, r := range ranges {
 		n := r.Len()
 		if n <= 0 {
@@ -100,7 +150,6 @@ func LiveVector(ranges []Range, ii int) []int {
 			vec[(r.Start+full*ii+i)%ii]++
 		}
 	}
-	return vec
 }
 
 // Pressure summarizes a schedule's register pressure for one file.
@@ -113,6 +162,10 @@ type Pressure struct {
 func Measure(l *ir.Loop, s *ir.Schedule, file ir.RegFile) Pressure {
 	ranges := Ranges(l, s, file)
 	vec := LiveVector(ranges, s.II)
+	return pressureOf(vec, s.II)
+}
+
+func pressureOf(vec []int, ii int) Pressure {
 	max, sum := 0, 0
 	for _, c := range vec {
 		sum += c
@@ -120,7 +173,7 @@ func Measure(l *ir.Loop, s *ir.Schedule, file ir.RegFile) Pressure {
 			max = c
 		}
 	}
-	return Pressure{MaxLive: max, AvgLive: float64(sum) / float64(s.II)}
+	return Pressure{MaxLive: max, AvgLive: float64(sum) / float64(ii)}
 }
 
 // MaxLive is shorthand for Measure(...).MaxLive on the RR file, the

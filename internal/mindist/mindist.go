@@ -63,10 +63,11 @@ func computeInto(l *ir.Loop, ii int, reuse *Table, poll func() bool) (*Table, er
 	n := len(l.Ops)
 	w := n + 2
 	t := reuse
-	if t == nil || len(t.d) != w*w {
-		t = &Table{d: make([]int, w*w)}
+	if t == nil {
+		t = &Table{}
 	}
-	t.II, t.n, t.width = ii, n, w
+	t.sizeFor(n)
+	t.II = ii
 	for i := range t.d {
 		t.d[i] = NoPath
 	}
@@ -116,6 +117,29 @@ func computeInto(l *ir.Loop, ii int, reuse *Table, poll func() bool) (*Table, er
 		}
 	}
 	return t, nil
+}
+
+// sizeFor reshapes the table for a loop of n real ops, reusing the
+// backing store whenever its capacity suffices — the pooled-arena
+// contract: a scratch table ratchets up to the largest loop it has
+// served and allocates nothing for smaller ones.
+func (t *Table) sizeFor(n int) {
+	w := n + 2
+	t.n, t.width = n, w
+	if cap(t.d) >= w*w {
+		t.d = t.d[:w*w]
+	} else {
+		t.d = make([]int, w*w)
+	}
+}
+
+// Clone returns an independent copy of the table. Schedulers that serve
+// results out of pooled scratch clone the final table so Result.MinDist
+// stays valid after the scratch is released.
+func (t *Table) Clone() *Table {
+	c := &Table{II: t.II, n: t.n, width: t.width, d: make([]int, len(t.d))}
+	copy(c.d, t.d)
+	return c
 }
 
 // N returns the number of real operations.

@@ -102,6 +102,14 @@ func NewParametric(l *ir.Loop, frontierCap int) (*Parametric, error) {
 // newParametric is NewParametric with an optional stop poll consulted
 // once per Floyd–Warshall pivot.
 func newParametric(l *ir.Loop, frontierCap int, poll func() bool) (*Parametric, error) {
+	return newParametricIn(l, frontierCap, poll, nil)
+}
+
+// newParametricIn is newParametric writing into reuse when non-nil: the
+// outer sets slice and every frontier keep their capacity across runs,
+// so a pooled scratch's one-time build allocates only when a frontier
+// outgrows all previous loops'.
+func newParametricIn(l *ir.Loop, frontierCap int, poll func() bool, reuse *Parametric) (*Parametric, error) {
 	if !l.Finalized() {
 		panic("mindist: loop not finalized")
 	}
@@ -110,7 +118,19 @@ func newParametric(l *ir.Loop, frontierCap int, poll func() bool) (*Parametric, 
 	}
 	n := len(l.Ops)
 	w := n + 2
-	p := &Parametric{n: n, width: w, sets: make([][]pathPair, w*w)}
+	p := reuse
+	if p == nil {
+		p = &Parametric{}
+	}
+	p.n, p.width = n, w
+	if cap(p.sets) >= w*w {
+		p.sets = p.sets[:w*w]
+		for i := range p.sets {
+			p.sets[i] = p.sets[i][:0]
+		}
+	} else {
+		p.sets = make([][]pathPair, w*w)
+	}
 	relax := func(x, y, lat, omega int) {
 		p.sets[x*w+y] = insertPair(p.sets[x*w+y], pathPair{lat, omega})
 	}
@@ -173,10 +193,11 @@ func (p *Parametric) Instantiate(ii int, reuse *Table) (*Table, error) {
 		panic("mindist: II must be positive")
 	}
 	t := reuse
-	if t == nil || len(t.d) != p.width*p.width {
-		t = &Table{d: make([]int, p.width*p.width)}
+	if t == nil {
+		t = &Table{}
 	}
-	t.II, t.n, t.width = ii, p.n, p.width
+	t.sizeFor(p.n)
+	t.II = ii
 	for i, set := range p.sets {
 		best := NoPath
 		for _, pr := range set {
@@ -205,6 +226,7 @@ type Cache struct {
 	l         *ir.Loop
 	buf       *Table
 	par       *Parametric
+	parReuse  *Parametric // scratch store for the one-time build (may be nil)
 	parFailed bool
 	calls     int
 	stop      func() bool
@@ -213,6 +235,45 @@ type Cache struct {
 
 // NewCache returns an empty cache for the loop.
 func NewCache(l *ir.Loop) *Cache { return &Cache{l: l} }
+
+// Scratch is the pooled MinDist state of one compile: a cache whose
+// instantiation buffer and parametric frontier store persist across
+// compiles. CacheFor rebinds it to a loop; Reset drops every reference
+// to per-compile data (the loop, the stop poll's captured context, the
+// trace) while keeping the integer backing stores, so a pooled Scratch
+// retains no request data between owners.
+type Scratch struct {
+	cache Cache
+	par   Parametric // frontier store reused by the cache's one-time build
+}
+
+// CacheFor returns the scratch's cache rebound to l. The returned cache
+// is owned by the scratch: tables it hands out are invalidated by the
+// next CacheFor or Reset, so callers that publish a table must Clone it.
+func (s *Scratch) CacheFor(l *ir.Loop) *Cache {
+	c := &s.cache
+	c.l = l
+	c.par = nil
+	c.parReuse = &s.par
+	c.parFailed = false
+	c.calls = 0
+	c.stop = nil
+	c.tr = nil
+	return c
+}
+
+// Reset clears every per-compile reference (loop, poll closure, trace)
+// and keeps the backing stores for the next owner.
+func (s *Scratch) Reset() {
+	c := &s.cache
+	c.l = nil
+	c.par = nil
+	c.parReuse = nil
+	c.parFailed = false
+	c.calls = 0
+	c.stop = nil
+	c.tr = nil
+}
 
 // SetStop installs a poll consulted periodically during table
 // construction; when it returns true the in-flight computation is
@@ -234,7 +295,7 @@ func (c *Cache) At(ii int) (*Table, error) {
 	c.calls++
 	if c.calls > 1 && c.par == nil && !c.parFailed {
 		sp := c.tr.Start("mindist-parametric")
-		p, err := newParametric(c.l, DefaultFrontierCap, c.stop)
+		p, err := newParametricIn(c.l, DefaultFrontierCap, c.stop, c.parReuse)
 		switch {
 		case err == ErrStopped:
 			sp.End(obs.OutcomeBudgetExhausted)

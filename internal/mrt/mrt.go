@@ -20,23 +20,62 @@ import (
 const noOp ir.OpID = -1
 
 // Table is a modulo resource table for one loop at one II.
+//
+// The reservation shape of each op — unit class, instance, busy span —
+// is precomputed into compact per-op arrays at construction, so the hot
+// Free/Place/Eject/Conflicts calls index three flat arrays instead of
+// chasing the opcode through the machine description.
 type Table struct {
 	ii    int
 	loop  *ir.Loop
 	slots [][]ir.OpID // [kind][instance*ii + cycle]
 	at    []int       // issue cycle per op, ir.Unplaced if absent
+
+	opKind []uint8 // functional-unit class per op
+	opFU   []int32 // pre-assigned instance per op
+	opBusy []int32 // busy cycles per op
+
+	cbuf []ir.OpID // Conflicts result buffer, reused across calls
 }
+
+// Scratch is pooled MRT storage: one table whose slot rows, placement
+// array, and per-op span arrays keep their capacity across II attempts
+// and across compiles. Reset drops the loop reference so a pooled
+// Scratch retains no per-request data.
+type Scratch struct {
+	t Table
+}
+
+// Reset clears the per-compile loop reference, keeping backing stores.
+func (s *Scratch) Reset() { s.t.loop = nil }
 
 // New returns an empty table for the loop at the given II.
 func New(l *ir.Loop, ii int) *Table {
+	return (&Table{}).init(l, ii)
+}
+
+// NewIn is New writing into pooled scratch: the returned table reuses
+// the scratch's backing stores, so it is invalidated by the next NewIn
+// on the same scratch.
+func NewIn(l *ir.Loop, ii int, s *Scratch) *Table {
+	return s.t.init(l, ii)
+}
+
+func (t *Table) init(l *ir.Loop, ii int) *Table {
 	if ii < 1 {
 		panic("mrt: II must be positive")
 	}
-	t := &Table{ii: ii, loop: l, at: make([]int, len(l.Ops))}
-	t.slots = make([][]ir.OpID, machine.NumFUKinds)
+	n := len(l.Ops)
+	t.ii, t.loop = ii, l
+	t.at = growInts(t.at, n)
+	if cap(t.slots) >= machine.NumFUKinds {
+		t.slots = t.slots[:machine.NumFUKinds]
+	} else {
+		t.slots = make([][]ir.OpID, machine.NumFUKinds)
+	}
 	for k := range t.slots {
-		n := l.Mach.Count(machine.FUKind(k))
-		t.slots[k] = make([]ir.OpID, n*ii)
+		cnt := l.Mach.Count(machine.FUKind(k))
+		t.slots[k] = growOps(t.slots[k], cnt*ii)
 		for i := range t.slots[k] {
 			t.slots[k][i] = noOp
 		}
@@ -44,7 +83,44 @@ func New(l *ir.Loop, ii int) *Table {
 	for i := range t.at {
 		t.at[i] = ir.Unplaced
 	}
+	t.opKind = growU8(t.opKind, n)
+	t.opFU = growI32(t.opFU, n)
+	t.opBusy = growI32(t.opBusy, n)
+	for i, op := range l.Ops {
+		info := l.Mach.Info(op.Opcode)
+		t.opKind[i] = uint8(info.Kind)
+		t.opFU[i] = int32(op.FU)
+		t.opBusy[i] = int32(info.Busy)
+	}
 	return t
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint8, n)
+}
+
+func growOps(s []ir.OpID, n int) []ir.OpID {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]ir.OpID, n)
 }
 
 // II returns the table's initiation interval.
@@ -57,29 +133,45 @@ func (t *Table) Placed(id ir.OpID) bool { return t.at[id] != ir.Unplaced }
 func (t *Table) Cycle(id ir.OpID) int { return t.at[id] }
 
 func (t *Table) span(op *ir.Op) (kind machine.FUKind, fu, busy int) {
-	info := t.loop.Mach.Info(op.Opcode)
-	return info.Kind, op.FU, info.Busy
+	return machine.FUKind(t.opKind[op.ID]), int(t.opFU[op.ID]), int(t.opBusy[op.ID])
 }
 
 // Conflicts returns the distinct ops whose reservations collide with
-// placing op at the given cycle. A nil result means the placement is
+// placing op at the given cycle. An empty result means the placement is
 // conflict-free. If the op's reservation pattern cannot fit at any cycle
 // (busy > II, impossible once II ≥ ResMII), Conflicts reports the op
 // itself as its own blocker.
+//
+// The returned slice is a table-owned buffer, valid until the next
+// Conflicts call on the same table; callers that keep victims across
+// calls must copy them out first.
 func (t *Table) Conflicts(op *ir.Op, cycle int) []ir.OpID {
 	kind, fu, busy := t.span(op)
+	out := t.cbuf[:0]
 	if busy > t.ii {
-		return []ir.OpID{op.ID}
+		out = append(out, op.ID)
+		t.cbuf = out
+		return out
 	}
-	var out []ir.OpID
-	seen := map[ir.OpID]bool{}
+	row := t.slots[kind]
 	for i := 0; i < busy; i++ {
 		c := mod(cycle+i, t.ii)
-		if o := t.slots[kind][fu*t.ii+c]; o != noOp && o != op.ID && !seen[o] {
-			seen[o] = true
+		o := row[fu*t.ii+c]
+		if o == noOp || o == op.ID {
+			continue
+		}
+		dup := false
+		for _, p := range out {
+			if p == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, o)
 		}
 	}
+	t.cbuf = out
 	return out
 }
 
@@ -89,9 +181,10 @@ func (t *Table) Free(op *ir.Op, cycle int) bool {
 	if busy > t.ii {
 		return false
 	}
+	row := t.slots[kind]
 	for i := 0; i < busy; i++ {
 		c := mod(cycle+i, t.ii)
-		if o := t.slots[kind][fu*t.ii+c]; o != noOp && o != op.ID {
+		if o := row[fu*t.ii+c]; o != noOp && o != op.ID {
 			return false
 		}
 	}

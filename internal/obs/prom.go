@@ -87,6 +87,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, "gauge", nil, fn, nil)
 }
 
+// CounterFunc registers an unlabelled counter whose value is read from
+// fn at scrape time. The name should end in _total and fn must be
+// monotonically non-decreasing (it renders as TYPE counter); fn must
+// not use the registry (the lock is held).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, "counter", nil, fn, nil)
+}
+
 // Histogram registers a histogram family with the given upper bounds
 // (ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Family {

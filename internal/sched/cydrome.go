@@ -16,9 +16,10 @@ type CydromePolicy struct {
 func (p *CydromePolicy) Name() string { return "cydrome" }
 
 // BeginAttempt snapshots each index's initial slack as its static
-// priority for the whole attempt.
+// priority for the whole attempt, in the attempt-scoped scratch buffer
+// (every entry is overwritten, as PolicyScratch requires).
 func (p *CydromePolicy) BeginAttempt(st *State) {
-	p.staticPrio = make([]int, st.n+1)
+	p.staticPrio = st.PolicyScratch(st.n + 1)
 	for x := 0; x <= st.n; x++ {
 		p.staticPrio[x] = st.Slack(x)
 	}

@@ -62,6 +62,20 @@ type Config struct {
 	// equivalent by differential tests; this knob exists for them and
 	// for perf attribution.
 	NoFastPaths bool
+	// Arena supplies the pooled per-compile scratch. Nil (the default)
+	// makes each Schedule call acquire its own arena — from the
+	// process-wide pool, or fresh when NoPool is set — and release it on
+	// every exit path. A caller that sets Arena owns its lifecycle:
+	// core.CompileContext acquires one arena per compilation so the
+	// scheduler, the degrade fallback, and the pressure measurements
+	// share scratch.
+	Arena *Arena
+	// NoPool bypasses the sync.Pool: every compile runs on virgin
+	// memory through the same arena code path. The escape hatch mirrors
+	// NoFastPaths — pooled and unpooled runs are proven byte-identical
+	// by differential tests; this knob exists for them and for leak
+	// triage.
+	NoPool bool
 }
 
 func (c Config) withDefaults() Config {
@@ -178,12 +192,31 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 	guard := newBudgetGuard(ctx, s.cfg.Budget)
 	sink := s.cfg.EventSink()
 
+	// Pooled scratch: everything per-attempt lives in the arena. When
+	// the caller did not supply one, acquire here and release on every
+	// exit path — including panics unwinding through this frame (the
+	// arena is fully re-initialized on reuse, so a panic cannot leak
+	// partial state into the next compile).
+	a := s.cfg.Arena
+	if a == nil {
+		a = acquireArena(s.cfg.NoPool)
+		defer a.Release()
+	}
+	// Fast-path MinDist tables alias arena storage that the next compile
+	// overwrites, so the table escaping through res.MinDist is cloned at
+	// exit (LIFO: this defer runs before the arena release above).
+	defer func() {
+		if !s.cfg.NoFastPaths && res.MinDist != nil {
+			res.MinDist = res.MinDist.Clone()
+		}
+	}()
+
 	// The cache computes the first II directly and answers retries from
 	// the parametric relation in O(n²), reusing one table's backing
 	// store throughout; res.MinDist therefore always holds the table at
 	// the final (achieved or last attempted) II. Under a budget the
 	// cache polls the guard so even MinDist construction is bounded.
-	cache := mindist.NewCache(l)
+	cache := a.cacheFor(l)
 	cache.SetStop(guard.stop())
 	cache.SetTrace(tr)
 	for ii <= maxII {
@@ -221,7 +254,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		caStart := time.Now()
 		itersBefore := res.Stats.CentralIters
 		spa := tr.Start("attempt").Int("ii", int64(ii))
-		st := newState(l, ii, md)
+		st := a.newState(l, ii, md)
 		st.noIncremental = s.cfg.NoFastPaths
 		if sink != nil {
 			st.obs = sink

@@ -74,7 +74,21 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 		return res, e
 	}
 
-	cache := mindist.NewCache(l)
+	// Pooled scratch: the fallback shares the caller's arena when one is
+	// configured (core passes the compile's arena through Config), else
+	// acquires its own for this call.
+	a := cfg.Arena
+	if a == nil {
+		a = acquireArena(cfg.NoPool)
+		defer a.Release()
+	}
+	defer func() {
+		if !cfg.NoFastPaths && res.MinDist != nil {
+			res.MinDist = res.MinDist.Clone()
+		}
+	}()
+
+	cache := a.cacheFor(l)
 	cache.SetStop(guard.stop())
 	cache.SetTrace(tr)
 	for ii := bounds.MII; ii <= maxII; ii++ {
@@ -114,21 +128,20 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 		itersBefore := res.Stats.CentralIters
 		spa := tr.Start("attempt").Int("ii", int64(ii)).Str("policy", "list")
 		// Height priority: longest path to Stop at this II.
-		order := make([]int, n)
+		order, times := a.listScratch(n)
 		for i := range order {
 			order[i] = i
 		}
 		height := func(x int) int { return md.Dist(x, md.Stop()) }
-		sort.SliceStable(order, func(a, b int) bool {
-			ha, hb := height(order[a]), height(order[b])
+		sort.SliceStable(order, func(x, y int) bool {
+			ha, hb := height(order[x]), height(order[y])
 			if ha != hb {
 				return ha > hb
 			}
-			return order[a] < order[b]
+			return order[x] < order[y]
 		})
 
-		table := mrt.New(l, ii)
-		times := make([]int, n)
+		table := mrt.NewIn(l, ii, a.mrtScratch())
 		for i := range times {
 			times[i] = ir.Unplaced
 		}

@@ -96,13 +96,13 @@ func (p *SlackPolicy) ScanEarly(st *State, x int) bool {
 
 // placedFraction returns the fraction of the group currently placed and
 // the count placed.
-func placedFraction(st *State, group []int) (float64, int) {
+func placedFraction(st *State, group []int32) (float64, int) {
 	if len(group) == 0 {
 		return 0, 0
 	}
 	n := 0
 	for _, y := range group {
-		if st.Placed(y) {
+		if st.Placed(int(y)) {
 			n++
 		}
 	}

@@ -21,8 +21,6 @@ package sched
 
 import (
 	"repro/internal/ir"
-	"repro/internal/machine"
-	"repro/internal/mii"
 	"repro/internal/mindist"
 	"repro/internal/mrt"
 )
@@ -47,8 +45,15 @@ type State struct {
 	divider  []bool // per op: runs on the (non-pipelined) divider
 	minLT    []int  // per value: MinLT at this II (RR values; 0 elsewhere)
 
-	preds, succs [][]int // immediate dependence neighbours per op (dedup, no self)
-	brtop        int     // index of the brtop op, or -1
+	// Immediate dependence neighbours per op (deduplicated, no self
+	// arcs) in compressed-sparse-row form: node x's predecessors are
+	// predAdj[predOff[x]:predOff[x+1]], first-occurrence order. The
+	// compact int32 encoding replaces the pointer-heavy [][]int of the
+	// original representation on the hot analyses and is built once per
+	// compile by the arena, not once per II attempt.
+	predOff, succOff []int32
+	predAdj, succAdj []int32
+	brtop            int // index of the brtop op, or -1
 
 	unplacedCount int
 	ejections     int // ejections charged against this attempt's budget
@@ -61,6 +66,8 @@ type State struct {
 	noIncremental  bool   // force the full recompute (differential testing)
 	scratch        []bool // forceAt dedup scratch, n+1 wide, false between calls
 	victimBuf      []int  // forceAt victim accumulator, reused across calls
+	depBuf         []int  // depVictims accumulator, reused across calls
+	policyBuf      []int  // PolicyScratch buffer, reused across attempts
 
 	obs Observer // event sink, or nil (the unobserved fast path)
 	evt Event    // template with Loop/Policy/II prefilled by the engine
@@ -101,73 +108,24 @@ func (st *State) Contention() bool { return st.contention }
 // this II (Section 5.1).
 func (st *State) MinLT(v ir.ValueID) int { return st.minLT[v] }
 
-// Preds and Succs return the immediate dependence neighbours of op x.
-func (st *State) Preds(x int) []int { return st.preds[x] }
-func (st *State) Succs(x int) []int { return st.succs[x] }
+// Preds and Succs return the immediate dependence neighbours of op x as
+// int32 indices into the loop's op array.
+func (st *State) Preds(x int) []int32 { return st.predAdj[st.predOff[x]:st.predOff[x+1]] }
+func (st *State) Succs(x int) []int32 { return st.succAdj[st.succOff[x]:st.succOff[x+1]] }
 
-// newState builds the attempt state: initial bounds from MinDist, the
-// Lstart(Stop) anchor with its extra slack (Section 4.2), per-attempt
-// criticality marks (Section 4.3) and MinLT values (Section 5.1).
+// PolicyScratch returns an attempt-scoped int buffer of length n for
+// policy use (e.g. static priorities). Contents are undefined; the
+// buffer is reused across attempts, so policies must fully overwrite it.
+func (st *State) PolicyScratch(n int) []int {
+	st.policyBuf = growInts(st.policyBuf, n)
+	return st.policyBuf
+}
+
+// newState builds the attempt state in a fresh unpooled arena. It is
+// the slow, allocation-per-attempt path kept for direct unit tests; the
+// engine goes through Arena.newState so scratch survives II retries.
 func newState(l *ir.Loop, iiVal int, md *mindist.Table) *State {
-	n := len(l.Ops)
-	st := &State{
-		L: l, II: iiVal, MD: md,
-		n:   n,
-		mrt: mrt.New(l, iiVal),
-	}
-	st.time = make([]int, n+1)
-	st.estart = make([]int, n+1)
-	st.lstart = make([]int, n+1)
-	st.lastPlace = make([]int, n+1)
-	st.scratch = make([]bool, n+1)
-	st.esFrom = make([]int, n+1)
-	st.lsFrom = make([]int, n+1)
-	for i := range st.time {
-		st.time[i] = ir.Unplaced
-		st.lastPlace[i] = ir.Unplaced
-	}
-	st.unplacedCount = n + 1
-
-	st.contention = mii.HasResourceContention(l)
-	if st.contention {
-		st.critical = mii.CriticalOps(l, iiVal)
-	} else {
-		st.critical = make([]bool, n)
-	}
-	st.divider = make([]bool, n)
-	st.brtop = -1
-	for i, op := range l.Ops {
-		st.divider[i] = l.Mach.Info(op.Opcode).Kind == machine.Divider
-		if op.Opcode == machine.BrTop {
-			st.brtop = i
-		}
-	}
-
-	st.minLT = make([]int, len(l.Values))
-	for _, v := range l.Values {
-		if v.File == ir.RR && v.IsVariant() {
-			st.minLT[v.ID] = mindist.MinLT(l, md, v.ID)
-		}
-	}
-
-	st.preds = make([][]int, n)
-	st.succs = make([][]int, n)
-	seenP := map[[2]int]bool{}
-	for _, d := range l.Deps {
-		if d.From == d.To {
-			continue
-		}
-		if !seenP[[2]int{int(d.From), int(d.To)}] {
-			seenP[[2]int{int(d.From), int(d.To)}] = true
-			st.succs[d.From] = append(st.succs[d.From], int(d.To))
-			st.preds[d.To] = append(st.preds[d.To], int(d.From))
-		}
-	}
-
-	cp := md.CriticalPath()
-	st.lstartStop = stopAnchor(cp, iiVal, st.contention)
-	st.recomputeBounds()
-	return st
+	return new(Arena).newState(l, iiVal, md)
 }
 
 // stopAnchor returns Lstart(Stop) for the given Estart(Stop): the
@@ -453,8 +411,10 @@ func (st *State) resourceVictims(x, cycle int) []ir.OpID {
 // closure of the successor relation, so this ejects beyond immediate
 // successors, which the paper found reduces overall backtracking
 // (Section 4.4).
+// The returned slice aliases st.depBuf and is valid until the next call;
+// forceAt copies it into its victim list immediately.
 func (st *State) depVictims(x, cycle int) []int {
-	var out []int
+	out := st.depBuf[:0]
 	for y := 0; y <= st.n; y++ {
 		if y == x || !st.Placed(y) {
 			continue
@@ -468,5 +428,6 @@ func (st *State) depVictims(x, cycle int) []int {
 			out = append(out, y)
 		}
 	}
+	st.depBuf = out
 	return out
 }

@@ -53,6 +53,21 @@ func (t *TailRecorder) Tail() []Event {
 	return append(out, t.buf[:t.next]...)
 }
 
+// Reset clears the recorder for a new run, keeping the ring's storage
+// but zeroing the retained events — a pooled recorder must not carry
+// one request's loop and policy names into the next request's pool
+// slot.
+func (t *TailRecorder) Reset() {
+	used := t.buf[:t.next]
+	if t.wrapped {
+		used = t.buf
+	}
+	for i := range used {
+		used[i] = Event{}
+	}
+	t.next, t.total, t.wrapped = 0, 0, false
+}
+
 // Dropped reports how many events fell off the front of the ring.
 func (t *TailRecorder) Dropped() int {
 	if !t.wrapped {

@@ -95,6 +95,12 @@ func newMetrics(s *Server) *metrics {
 		})
 	r.GaugeFunc("lsmsd_flightrecorder_entries", "Compile traces held by the flight recorder.",
 		func() float64 { return float64(s.flight.Len()) })
+	// Arena pool health (process-wide: the sched arena pool is shared by
+	// every compile in the process, not scoped to one Server).
+	r.GaugeFunc("lsmsd_arena_inuse", "Pooled scheduler scratch arenas held by in-flight compiles.",
+		func() float64 { inUse, _ := sched.ArenaStats(); return float64(inUse) })
+	r.CounterFunc("lsmsd_arena_recycled_total", "Scheduler scratch arenas returned to the pool since process start.",
+		func() float64 { _, recycled := sched.ArenaStats(); return float64(recycled) })
 	return m
 }
 

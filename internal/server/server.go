@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -215,7 +216,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gate.exit()
 
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	scr := reqScratchPool.Get().(*reqScratch)
+	defer scr.release()
+	body, err := readBody(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1), &scr.body)
 	if err != nil {
 		s.badRequest(w, fmt.Errorf("reading body: %w", err))
 		return
@@ -224,9 +227,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
 		return
 	}
-	var req wire.Request
-	if err := json.Unmarshal(body, &req); err != nil {
-		s.badRequest(w, fmt.Errorf("parsing request: %w", err))
+	req, err := scr.dec.DecodeRequest(body)
+	if err != nil {
+		s.badRequest(w, err)
 		return
 	}
 	norm, loop, err := req.Normalize()
@@ -279,13 +282,61 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Tier 3: admission control, then a worker slot.
-	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID)
+	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID, scr.tail)
 	if out.cacheable {
 		s.cache.add(hash, out.status, out.body)
 	}
 	s.flights.finish(hash, c, out)
 	s.writeRaw(w, out.status, out.body, "miss")
 	s.logRequest(reqID, loop.Name, schedName, out.status, "miss", out.name, time.Since(start))
+}
+
+// reqScratch is the pooled per-request decode state: the body buffer,
+// the wire decode scratch (envelope, loop document, request struct),
+// and the event tail recorder. A worker that has served a request of a
+// given size serves the next one of that size without allocating any of
+// them. One scratch belongs to one request from Get to release; the
+// response bytes it produces are freshly allocated (they outlive the
+// request in the result cache and singleflight waiters), so nothing the
+// scratch owns escapes the handler.
+type reqScratch struct {
+	body []byte
+	dec  wire.Scratch
+	tail *sched.TailRecorder
+}
+
+var reqScratchPool = sync.Pool{
+	New: func() any { return &reqScratch{tail: sched.NewTailRecorder(0)} },
+}
+
+// release drops every reference to request data — decoded strings, the
+// loop document's contents, the recorded event tail — while keeping the
+// buffers' capacity, then returns the scratch to the pool.
+func (scr *reqScratch) release() {
+	scr.body = scr.body[:0]
+	scr.dec.Reset()
+	scr.tail.Reset()
+	reqScratchPool.Put(scr)
+}
+
+// readBody reads r to EOF into *buf, reusing its capacity.
+func readBody(r io.Reader, buf *[]byte) ([]byte, error) {
+	b := (*buf)[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			*buf = b
+			return b, nil
+		}
+		if err != nil {
+			*buf = b
+			return nil, err
+		}
+	}
 }
 
 // teeObserver fans the scheduler's event stream to the server-wide
@@ -301,7 +352,7 @@ func (t teeObserver) Event(e sched.Event) {
 // serializes its outcome, recording the request's trace — spans from
 // every pipeline stage plus, for failed or degraded runs, the tail of
 // the scheduler event stream — into the flight recorder.
-func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash, reqID string) outcome {
+func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash, reqID string, tail *sched.TailRecorder) outcome {
 	s.m.queueDepth.Observe(float64(s.adm.waiting()))
 	if !s.adm.tryEnter() {
 		s.m.rejected.Inc()
@@ -320,7 +371,6 @@ func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *
 
 	tr := obs.NewTrace(reqID, loop.Name)
 	tr.Scheduler = schedName
-	tail := sched.NewTailRecorder(0)
 	cfg := norm.Options.SchedConfig()
 	cfg.Budget.Deadline = s.effectiveDeadline(cfg.Budget.Deadline)
 	cfg.Observer = teeObserver{s.sm, tail}

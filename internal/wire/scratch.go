@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Reset clears the request envelope for reuse by json.Unmarshal, which
+// merges into existing values rather than starting fresh: a key absent
+// from the next document leaves the old field contents in place. Every
+// envelope field is therefore zeroed — in particular Loop drops to nil,
+// because a stale non-nil pointer would make a source-form request look
+// like it also carried an IR payload. The Request struct itself owns no
+// slices, so a plain zeroing loses no capacity; loop-document reuse
+// lives in Scratch / (*Loop).Reset.
+func (r *Request) Reset() { *r = Request{} }
+
+// Reset deep-zeroes the loop document while keeping every slice's
+// capacity, making it safe to json.Unmarshal the next document into it.
+// Unmarshal reuses slice backing arrays up to capacity without clearing
+// the elements first, so anything short of a deep zero leaks one
+// document's fields into the next: a stale Operand.Omega, LiveOut flag,
+// or Const literal would silently change the decoded loop — and its
+// content hash. Pointers (Op.Pred, Value.Const) are nil'd for the same
+// reason an absent key must read as absent, not as the previous value.
+func (w *Loop) Reset() {
+	values := w.Values[:cap(w.Values)]
+	for i := range values {
+		values[i] = Value{}
+	}
+	ops := w.Ops[:cap(w.Ops)]
+	for i := range ops {
+		args := ops[i].Args[:cap(ops[i].Args)]
+		for j := range args {
+			args[j] = Operand{}
+		}
+		ops[i] = Op{Args: args[:0]}
+	}
+	deps := w.Deps[:cap(w.Deps)]
+	for i := range deps {
+		deps[i] = Dep{}
+	}
+	*w = Loop{Values: values[:0], Ops: ops[:0], Deps: deps[:0]}
+}
+
+// envelope mirrors Request field-for-field but defers the loop document
+// to a RawMessage, so a decode can tell "loop absent" from "loop
+// present" while still funnelling the (large) document into pooled
+// storage. Field names and order must match Request exactly; the
+// differential test in scratch_test.go holds the two together.
+type envelope struct {
+	Version   string          `json:"version"`
+	Machine   string          `json:"machine"`
+	Scheduler string          `json:"scheduler"`
+	Options   Options         `json:"options"`
+	Source    string          `json:"source"`
+	LoopIndex int             `json:"loop_index"`
+	Loop      json.RawMessage `json:"loop"`
+}
+
+// Scratch is pooled request-decode storage: the envelope's raw-message
+// buffer, the loop document, and the request struct all keep their
+// capacity across decodes, so a server worker that has seen a loop of
+// size n decodes the next size-≤n request without allocating document
+// storage. One Scratch serves one decode at a time.
+type Scratch struct {
+	env envelope
+	doc Loop
+	req Request
+}
+
+// Reset drops every reference the scratch holds to the last request —
+// decoded strings, the raw loop bytes, the document contents — while
+// keeping all buffer capacity for the next decode. Pools call this on
+// release so an idle scratch retains no request data.
+func (s *Scratch) Reset() {
+	s.env = envelope{Loop: s.env.Loop[:0]}
+	s.doc.Reset()
+	s.req.Reset()
+}
+
+var jsonNull = []byte("null")
+
+// DecodeRequest parses body into the scratch-backed request. The
+// returned *Request — and the loop document it points at — alias the
+// scratch and are valid only until the next DecodeRequest call; decoded
+// strings are immutable and may outlive it. The decode is semantically
+// identical to json.Unmarshal into a fresh Request (the differential
+// test asserts canonical-byte equality over the corpus).
+func (s *Scratch) DecodeRequest(body []byte) (*Request, error) {
+	s.env = envelope{Loop: s.env.Loop[:0]}
+	if err := json.Unmarshal(body, &s.env); err != nil {
+		return nil, fmt.Errorf("parsing request: %w", err)
+	}
+	s.req.Reset()
+	s.req.Version = s.env.Version
+	s.req.Machine = s.env.Machine
+	s.req.Scheduler = s.env.Scheduler
+	s.req.Options = s.env.Options
+	s.req.Source = s.env.Source
+	s.req.LoopIndex = s.env.LoopIndex
+	if len(s.env.Loop) > 0 && !bytes.Equal(s.env.Loop, jsonNull) {
+		s.doc.Reset()
+		if err := json.Unmarshal(s.env.Loop, &s.doc); err != nil {
+			return nil, fmt.Errorf("parsing request loop: %w", err)
+		}
+		s.req.Loop = &s.doc
+	}
+	return &s.req, nil
+}
