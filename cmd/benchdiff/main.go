@@ -69,8 +69,8 @@ func main() {
 
 	base := baselineFor(hist, head)
 	if base == nil {
-		fatalf("no comparable baseline in %s for size=%d seed=%d nopool=%v",
-			*history, head.Size, head.Seed, head.NoPool)
+		fatalf("no comparable baseline in %s for size=%d seed=%d machine=%s nopool=%v",
+			*history, head.Size, head.Seed, orPaper(head.Machine), head.NoPool)
 	}
 
 	fmt.Printf("baseline: %s %s (%s)\nhead:     %s %s (%s)\n\n",
@@ -84,15 +84,28 @@ func main() {
 }
 
 // baselineFor picks the most recent record measuring the same workload
-// as the head; records at other sizes/seeds are not comparable.
+// as the head; records at other sizes/seeds are not comparable, and
+// records from different machines never are — a target with other unit
+// mixes or latencies does different schedule work, so neither its
+// effort counters nor its per-compile costs can baseline this head's.
+// An empty machine is the paper machine (records predate the field).
 func baselineFor(hist []*bench.HistoryRecord, head *bench.HistoryRecord) *bench.HistoryRecord {
 	for i := len(hist) - 1; i >= 0; i-- {
 		r := hist[i]
-		if r.Size == head.Size && r.Seed == head.Seed && r.NoPool == head.NoPool {
+		if r.Size == head.Size && r.Seed == head.Seed && r.NoPool == head.NoPool &&
+			orPaper(r.Machine) == orPaper(head.Machine) {
 			return r
 		}
 	}
 	return nil
+}
+
+// orPaper canonicalizes the historical empty machine field.
+func orPaper(m string) string {
+	if m == "" {
+		return "cydra"
+	}
+	return m
 }
 
 // diff prints one row per benchmark and returns the regression count.

@@ -13,7 +13,14 @@
 //
 // Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
 // headline ablation regalloc iistep expansion predshare straightline
-// latencies perf metrics all
+// latencies targets perf metrics all
+//
+// -machine runs the whole evaluation on another registered target (or
+// a spec file: any argument containing a path separator or .json is
+// loaded as a declarative machine document). The "targets" experiment
+// sweeps the corpus on every registered target instead (-targets picks
+// a subset) and prints both console and Markdown tables — the latter
+// is what EXPERIMENTS.md publishes.
 //
 // With -server it instead becomes a load generator for a running lsmsd:
 // the corpus is wire-encoded and replayed over -concurrency workers,
@@ -71,13 +78,21 @@ func main() {
 	requests := flag.Int("requests", 0, "load mode: total requests to issue (0 = one per corpus loop)")
 	concurrency := flag.Int("concurrency", 8, "load mode: concurrent client workers")
 	scheduler := flag.String("scheduler", "slack", "load mode: scheduling policy to request")
+	machName := flag.String("machine", "", "target machine: a registered name or a spec file (default: the paper machine)")
+	targets := flag.String("targets", "", "targets experiment: comma-separated machine names (default: every registered target)")
 	flag.Parse()
 
+	mach := resolveMachine(*machName)
+
 	if *history != "" {
-		benches, err := bench.CompileBench(*size, *seed, sched.Config{NoPool: *noPool})
+		benches, err := bench.CompileBench(*size, *seed, sched.Config{NoPool: *noPool}, mach)
 		check(err)
+		machRec := ""
+		if mach != nil {
+			machRec = mach.Name
+		}
 		rec := bench.NewHistoryRecord(*sha, time.Now().UTC().Format("2006-01-02"), *note,
-			*size, *seed, *noPool, benches)
+			*size, *seed, machRec, *noPool, benches)
 		check(bench.AppendHistory(*history, rec))
 		fmt.Println(rec)
 		fmt.Printf("history record appended to %s\n", *history)
@@ -111,7 +126,7 @@ func main() {
 	suite := func() *bench.Suite {
 		if s == nil {
 			var err error
-			s, err = bench.NewSuite(loopgen.Options{Size: *size, Seed: *seed})
+			s, err = bench.NewSuite(loopgen.Options{Size: *size, Seed: *seed, Mach: mach})
 			if err != nil {
 				fatalf("building workload: %v", err)
 			}
@@ -226,6 +241,20 @@ func main() {
 		check(err)
 		fmt.Println(bench.RenderLatencies(rows))
 	}
+	if want("targets") {
+		names := machine.Names()
+		if *targets != "" {
+			names = nil
+			for _, t := range strings.Split(*targets, ",") {
+				names = append(names, strings.TrimSpace(t))
+			}
+		}
+		rows, err := bench.TargetSweep(*size, *seed, *par, names)
+		check(err)
+		fmt.Println(bench.RenderTargetSweep(rows))
+		fmt.Println("Markdown (EXPERIMENTS.md form):")
+		fmt.Println(bench.MarkdownTargetSweep(rows))
+	}
 	if want("perf") || *benchjson != "" {
 		r, err := bench.Perf(suite())
 		check(err)
@@ -280,6 +309,30 @@ func writeTraces(s *bench.Suite, dir string) error {
 		}
 		fmt.Printf("trace for %s (%d loops) written to %s\n", name, len(traces), path)
 	}
+	return nil
+}
+
+// resolveMachine turns the -machine argument into a description: empty
+// means the paper machine (nil lets each harness default), a path-like
+// argument is loaded as a spec document, anything else must be a
+// registered name. File-loaded machines are registered so every part
+// of the harness can find them by name.
+func resolveMachine(arg string) *machine.Desc {
+	if arg == "" {
+		return nil
+	}
+	if m, ok := machine.Lookup(arg); ok {
+		return m
+	}
+	if strings.ContainsAny(arg, "/\\") || strings.HasSuffix(arg, ".json") {
+		m, err := machine.LoadFile(arg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		machine.Register(m)
+		return m
+	}
+	fatalf("unknown machine %q (registered: %v; or pass a spec file)", arg, machine.Names())
 	return nil
 }
 

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	lsms [-scheduler slack|slack-unidirectional|cydrome|list]
-//	     [-machine cydra|shortmem|longops|pipediv]
+//	     [-machine <registered name>|path/to/spec.json]
 //	     [-dump ir,sched,kernel,pressure]
 //	     [-trace[=text|chrome]] [-traceout lsms-trace.json]
 //	     [-deadline 0] [-degrade] file.f
@@ -18,10 +18,18 @@
 // document to -traceout — load it in Perfetto or chrome://tracing to
 // see where the compile time went.
 //
+// -machine accepts any registered target name (see `lsmsd`'s GET
+// /v1/machines, or the built-in family: cydra, shortmem, longops,
+// pipediv, cluster2, simdwide, cgra4) or the path of a declarative
+// machine.Spec JSON document — any argument with a path separator or a
+// .json suffix is loaded as a file.
+//
 // With -emit json, lsms does not schedule: it prints each eligible
-// loop's canonical wire-format compile request (lsms-wire/1) as one
+// loop's canonical wire-format compile request (lsms-wire/2) as one
 // JSON line on stdout — ready to POST to lsmsd's /v1/compile — and the
-// loop's content hash (the service's cache key) on stderr.
+// loop's content hash (the service's cache key) on stderr. For a
+// file-loaded machine the request embeds the spec, so a server that
+// has never heard of the target can still compile for it.
 //
 // Exit codes map the typed compilation errors so scripts can tell the
 // failure modes apart:
@@ -93,7 +101,7 @@ func (f *traceFlag) Set(s string) error {
 
 func main() {
 	schedName := flag.String("scheduler", "slack", "scheduling policy: slack, slack-unidirectional, cydrome, list")
-	machName := flag.String("machine", "cydra", "machine model: cydra, shortmem, longops, pipediv")
+	machName := flag.String("machine", machine.PaperMachine, "target machine: a registered name or a spec file (JSON)")
 	dump := flag.String("dump", "sched,pressure", "comma-separated: ir, sched, mrt, gantt, lifetimes, kernel, pressure")
 	verify := flag.Bool("verify", false, "execute the generated kernel on the VLIW simulator against the interpreter (auto-generated inputs)")
 	par := flag.Int("parallel", 0, "compile the file's loops on this many workers (0 = GOMAXPROCS, 1 = sequential); output order is unchanged")
@@ -105,14 +113,20 @@ func main() {
 	emit := flag.String("emit", "", `emit "json": print each eligible loop's canonical wire request instead of scheduling`)
 	flag.Parse()
 
-	var m *machine.Desc
-	for _, cand := range machine.Variants() {
-		if cand.Name == *machName {
-			m = cand
+	// A registered name resolves through the registry; a path-like
+	// argument loads a declarative spec document. File-loaded machines
+	// are deliberately NOT registered: wire.NewRequest then embeds the
+	// spec in emitted requests, so -emit json output is self-contained.
+	m, ok := machine.Lookup(*machName)
+	if !ok {
+		if strings.ContainsAny(*machName, "/\\") || strings.HasSuffix(*machName, ".json") {
+			var err error
+			if m, err = machine.LoadFile(*machName); err != nil {
+				fatalf("%v", err)
+			}
+		} else {
+			fatalf("unknown machine %q (registered: %v; or pass a spec file)", *machName, machine.Names())
 		}
-	}
-	if m == nil {
-		fatalf("unknown machine %q", *machName)
 	}
 
 	var src []byte

@@ -8,11 +8,17 @@
 //	lsmsd [-addr :8577] [-workers N] [-queue 64] [-cache 1024]
 //	      [-default-deadline 30s] [-max-deadline 2m] [-retry-after 1s]
 //	      [-debug-addr :8578] [-flight 64] [-log json|none]
+//	      [-machines spec.json,spec2.json]
+//
+// -machines registers extra targets from declarative machine.Spec
+// documents at startup, alongside the built-in family; clients then
+// select them by name like any registered machine.
 //
 // Endpoints (see README "Running the service"):
 //
 //	POST /v1/compile    — wire.Request (mini-FORTRAN source or IR form)
 //	GET  /v1/schedulers — registered scheduling policies
+//	GET  /v1/machines   — registered targets and their unit mixes
 //	GET  /healthz       — liveness and pool occupancy
 //	GET  /metrics       — Prometheus text exposition
 //
@@ -38,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/machine"
 	"repro/internal/server"
 )
 
@@ -56,7 +64,19 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/flightrecorder (empty = disabled)")
 	flight := flag.Int("flight", 0, "flight-recorder entries (0 = default 64)")
 	logMode := flag.String("log", "json", `request logging: "json" (structured, stderr) or "none"`)
+	machineFiles := flag.String("machines", "", "comma-separated machine spec files (JSON) to register at startup")
 	flag.Parse()
+
+	if *machineFiles != "" {
+		for _, path := range strings.Split(*machineFiles, ",") {
+			d, err := machine.LoadFile(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			machine.Register(d)
+			fmt.Printf("lsmsd: registered machine %q from %s\n", d.Name, path)
+		}
+	}
 
 	var logger *slog.Logger
 	switch *logMode {

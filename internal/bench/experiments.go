@@ -648,6 +648,89 @@ func RenderLatencies(rows []LatencyRow) string {
 	return "Latency robustness (Section 8: results should be similar across variants)\n" + t.String()
 }
 
+// TargetRow is one target's corpus summary in the multi-target sweep.
+type TargetRow struct {
+	Machine    string
+	Loops      int
+	Feasible   int
+	PctAtMII   float64 // % of feasible loops scheduled at their MII
+	IIRatio    float64 // ΣII / ΣMII over feasible loops
+	AvgMaxLive float64
+	MaxMaxLive int
+}
+
+// TargetSweep runs the slack scheduler's corpus sweep on every named
+// registered target — the experiment the declarative machine model
+// exists for. Where Latencies varies only the paper machine's
+// latencies, this varies the machine itself: unit mixes, pipelining,
+// even the number of unit classes. The corpus is regenerated per
+// target (functional-unit pre-assignment depends on the machine), so
+// the same source loops are scheduled against each.
+func TargetSweep(size int, seed int64, parallel int, names []string) ([]TargetRow, error) {
+	var out []TargetRow
+	for _, name := range names {
+		m, ok := machine.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown machine %q (registered: %v)", name, machine.Names())
+		}
+		s, err := NewSuite(loopgen.Options{Size: size, Seed: seed, Mach: m})
+		if err != nil {
+			return nil, err
+		}
+		s.Parallel = parallel
+		runs, err := s.Runs(core.SchedSlack)
+		if err != nil {
+			return nil, err
+		}
+		row := TargetRow{Machine: name, Loops: len(runs)}
+		atMII, sumII, sumMII, sumML := 0, 0, 0, 0
+		for _, r := range runs {
+			if !r.OK {
+				continue
+			}
+			row.Feasible++
+			if r.II == r.Info.Bounds.MII {
+				atMII++
+			}
+			sumII += r.II
+			sumMII += r.Info.Bounds.MII
+			sumML += r.MaxLive
+			if r.MaxLive > row.MaxMaxLive {
+				row.MaxMaxLive = r.MaxLive
+			}
+		}
+		if row.Feasible > 0 {
+			row.PctAtMII = 100 * float64(atMII) / float64(row.Feasible)
+			row.IIRatio = float64(sumII) / float64(sumMII)
+			row.AvgMaxLive = float64(sumML) / float64(row.Feasible)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderTargetSweep formats the multi-target sweep for the console.
+func RenderTargetSweep(rows []TargetRow) string {
+	t := stats.NewTable("Machine", "loops", "feasible", "% at MII", "ΣII/ΣMII", "avg MaxLive", "max MaxLive")
+	for _, r := range rows {
+		t.Row(r.Machine, r.Loops, r.Feasible, fmt.Sprintf("%.1f", r.PctAtMII), r.IIRatio, r.AvgMaxLive, r.MaxMaxLive)
+	}
+	return "Per-target corpus sweep (slack scheduler on each registered target)\n" + t.String()
+}
+
+// MarkdownTargetSweep renders the sweep as a GitHub table — the form
+// EXPERIMENTS.md publishes.
+func MarkdownTargetSweep(rows []TargetRow) string {
+	var b strings.Builder
+	b.WriteString("| Machine | Loops | Feasible | % at MII | ΣII/ΣMII | avg MaxLive | max MaxLive |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %.1f | %.3f | %.1f | %d |\n",
+			r.Machine, r.Loops, r.Feasible, r.PctAtMII, r.IIRatio, r.AvgMaxLive, r.MaxMaxLive)
+	}
+	return b.String()
+}
+
 // ExpansionResult quantifies Section 2.3's trade: rotating register
 // files avoid the code expansion of modulo variable expansion.
 type ExpansionResult struct {

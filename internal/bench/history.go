@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loopgen"
+	"repro/internal/machine"
 	"repro/internal/sched"
 )
 
@@ -43,12 +44,17 @@ type BenchRecord struct {
 
 // HistoryRecord is one line of BENCH_history.jsonl.
 type HistoryRecord struct {
-	SHA        string        `json:"sha"`
-	Date       string        `json:"date"` // YYYY-MM-DD
-	Note       string        `json:"note,omitempty"`
-	Go         string        `json:"go"`
-	Size       int           `json:"size"`
-	Seed       int64         `json:"seed"`
+	SHA  string `json:"sha"`
+	Date string `json:"date"` // YYYY-MM-DD
+	Note string `json:"note,omitempty"`
+	Go   string `json:"go"`
+	Size int    `json:"size"`
+	Seed int64  `json:"seed"`
+	// Machine names the target the record was measured on; empty means
+	// the paper machine (records predate the multi-target harness).
+	// benchdiff never compares records across machines — counters and
+	// costs are both per-target.
+	Machine    string        `json:"machine,omitempty"`
 	NoPool     bool          `json:"nopool,omitempty"`
 	Benchmarks []BenchRecord `json:"benchmarks"`
 }
@@ -58,8 +64,9 @@ type HistoryRecord struct {
 // core.Compile (scheduling + pressure, no codegen — the lsmsd serving
 // shape), round-robin over the corpus, plus one untimed sweep that
 // aggregates the effort counters.
-func CompileBench(size int, seed int64, cfg sched.Config) ([]BenchRecord, error) {
-	w, err := loopgen.Build(loopgen.Options{Size: size, Seed: seed})
+// A nil mach measures on the paper machine.
+func CompileBench(size int, seed int64, cfg sched.Config, mach *machine.Desc) ([]BenchRecord, error) {
+	w, err := loopgen.Build(loopgen.Options{Size: size, Seed: seed, Mach: mach})
 	if err != nil {
 		return nil, err
 	}
@@ -105,12 +112,16 @@ func CompileBench(size int, seed int64, cfg sched.Config) ([]BenchRecord, error)
 }
 
 // NewHistoryRecord assembles one trajectory record. Date is the
-// caller's (CI stamps UTC); Go is filled in here.
-func NewHistoryRecord(sha, date, note string, size int, seed int64, nopool bool, benches []BenchRecord) *HistoryRecord {
+// caller's (CI stamps UTC); Go is filled in here. An empty machine
+// means the paper machine.
+func NewHistoryRecord(sha, date, note string, size int, seed int64, mach string, nopool bool, benches []BenchRecord) *HistoryRecord {
+	if mach == machine.PaperMachine {
+		mach = "" // canonical form: the paper machine is the unmarked case
+	}
 	return &HistoryRecord{
 		SHA: sha, Date: date, Note: note,
 		Go:   runtime.Version(),
-		Size: size, Seed: seed, NoPool: nopool,
+		Size: size, Seed: seed, Machine: mach, NoPool: nopool,
 		Benchmarks: benches,
 	}
 }
@@ -165,6 +176,9 @@ func ReadHistory(path string) ([]*HistoryRecord, error) {
 // String renders the record as a one-line-per-benchmark summary.
 func (r *HistoryRecord) String() string {
 	s := fmt.Sprintf("%s %s size=%d seed=%d", r.SHA, r.Date, r.Size, r.Seed)
+	if r.Machine != "" {
+		s += " machine=" + r.Machine
+	}
 	if r.Note != "" {
 		s += " (" + r.Note + ")"
 	}

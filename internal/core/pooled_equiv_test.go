@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/loopgen"
+	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -25,7 +26,28 @@ func TestPooledEquivalence(t *testing.T) {
 	if testing.Short() {
 		size = 36
 	}
-	w, err := loopgen.Build(loopgen.Options{Size: size, Seed: 424})
+	testPooledEquivalence(t, loopgen.Options{Size: size, Seed: 424})
+}
+
+// TestPooledEquivalenceCGRA runs the same differential on the cgra4
+// target: its FU-kind table is a different size and shape than the
+// paper family's, so pooled arenas handed from a cydra compile to a
+// cgra4 compile (and vice versa, as the pool is shared) must resize
+// their per-kind scratch rather than reuse stale widths.
+func TestPooledEquivalenceCGRA(t *testing.T) {
+	size := 60
+	if testing.Short() {
+		size = 24
+	}
+	m, ok := machine.Lookup("cgra4")
+	if !ok {
+		t.Fatal("cgra4 is not registered")
+	}
+	testPooledEquivalence(t, loopgen.Options{Size: size, Seed: 424, Mach: m})
+}
+
+func testPooledEquivalence(t *testing.T, opts loopgen.Options) {
+	w, err := loopgen.Build(opts)
 	if err != nil {
 		t.Fatalf("building workload: %v", err)
 	}

@@ -346,7 +346,7 @@ func (l *Loop) Finalized() bool { return l.finalized }
 // assignFUs distributes ops round-robin over the instances of their unit
 // class, mirroring the paper's pre-scheduling functional-unit assignment.
 func (l *Loop) assignFUs() {
-	var next [machine.NumFUKinds]int
+	next := make([]int, l.Mach.NumKinds())
 	for _, op := range l.Ops {
 		info := l.Mach.Info(op.Opcode)
 		n := l.Mach.Count(info.Kind)
@@ -457,8 +457,9 @@ func (l *Loop) validate() error {
 		if op.ID != OpID(i) {
 			return fmt.Errorf("loop %s: op %d has id %d", l.Name, i, op.ID)
 		}
-		info := l.Mach.Info(op.Opcode) // panics on unimplementable opcode
-		_ = info
+		if !l.Mach.Supports(op.Opcode) {
+			return &machine.UnsupportedOpError{Machine: l.Mach.Name, Op: op.Opcode}
+		}
 		if op.Opcode == machine.BrTop {
 			brtops++
 		}

@@ -166,6 +166,21 @@ func (o Opcode) IsCompare() bool {
 // IsMem reports whether the opcode accesses memory.
 func (o Opcode) IsMem() bool { return o == Load || o == Store }
 
+// OpcodeByName resolves an assembler mnemonic to its opcode.
+func OpcodeByName(s string) (Opcode, bool) {
+	o, ok := opcodeByName[s]
+	return o, ok
+}
+
+// opcodeByName maps assembler mnemonics back to opcodes.
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for o := Opcode(1); int(o) < NumOpcodes; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
 // OpInfo describes how an opcode uses the machine.
 type OpInfo struct {
 	Kind    FUKind // functional-unit class that executes the op
@@ -173,34 +188,112 @@ type OpInfo struct {
 	Busy    int    // cycles the unit is reserved from issue (== Latency for the divider)
 }
 
-// Desc is a complete machine description: how many instances of each
-// functional-unit class exist and how each opcode uses them. A Desc is
-// immutable after construction; all packages share pointers to it.
+// Desc is a complete machine description: the functional-unit classes
+// (with instance counts and pipelining), and how each opcode uses them.
+// A Desc is immutable after construction and sized by its description —
+// a target may declare any number of unit classes, not just the paper's
+// six — so all packages share pointers to it and size their scratch by
+// NumKinds. Descs come from two builders: Spec.Build compiles a
+// declarative document (the normal path; see spec.go), and New bakes
+// the paper's Table 1 directly (the hard-coded reference the
+// differential tests pin spec-built variants against).
 type Desc struct {
 	Name  string
-	count [NumFUKinds]int
-	info  [NumOpcodes]OpInfo
+	units []UnitSpec // per-class metadata, indexed by FUKind
+	info  []OpInfo   // indexed by Opcode; Busy == 0 means unimplemented
+	spec  *Spec      // declarative source, nil for New-built descs
 }
 
-// Count returns the number of functional units of class k.
-func (d *Desc) Count(k FUKind) int { return d.count[k] }
+// NumKinds returns the number of functional-unit classes this machine
+// declares. FUKind values 0..NumKinds()-1 index them.
+func (d *Desc) NumKinds() int { return len(d.units) }
 
-// Info returns the execution profile of opcode o.
-// It panics on an opcode the machine does not implement, because a
-// scheduler presented with such an op indicates a compiler bug.
-func (d *Desc) Info(o Opcode) OpInfo {
-	if o <= Nop || int(o) >= NumOpcodes {
-		panic(fmt.Sprintf("machine: no execution profile for %v", o))
+// Count returns the number of functional units of class k (0 for a
+// class the machine does not declare).
+func (d *Desc) Count(k FUKind) int {
+	if k < 0 || int(k) >= len(d.units) {
+		return 0
+	}
+	return d.units[k].Count
+}
+
+// KindName returns the machine's name for unit class k.
+func (d *Desc) KindName(k FUKind) string {
+	if k < 0 || int(k) >= len(d.units) {
+		return k.String()
+	}
+	return d.units[k].Name
+}
+
+// NotPipelined reports whether class k's units are reserved for an
+// op's full busy span and its ops treated as scarce: schedulers damp
+// the slack of such ops (Section 4.3), because a non-pipelined
+// reservation pattern leaves them very few issue slots.
+func (d *Desc) NotPipelined(k FUKind) bool {
+	if k < 0 || int(k) >= len(d.units) {
+		return false
+	}
+	return d.units[k].NotPipelined
+}
+
+// Units returns a copy of the per-class metadata in FUKind order.
+func (d *Desc) Units() []UnitSpec { return append([]UnitSpec(nil), d.units...) }
+
+// Spec returns a copy of the declarative description this desc was
+// built from, or nil for a hard-coded (New-built) desc. The copy keeps
+// the published desc immutable no matter what the caller does with it.
+func (d *Desc) Spec() *Spec { return d.spec.Clone() }
+
+// Lookup returns the execution profile of opcode o, reporting false
+// for an opcode this machine does not implement. It is the
+// non-panicking boundary check: wire decoding and loop validation call
+// it so a request whose ops the target cannot execute fails cleanly
+// instead of panicking mid-schedule.
+func (d *Desc) Lookup(o Opcode) (OpInfo, bool) {
+	if o <= Nop || int(o) >= len(d.info) {
+		return OpInfo{}, false
 	}
 	in := d.info[o]
 	if in.Busy == 0 {
-		panic(fmt.Sprintf("machine: no execution profile for %v", o))
+		return OpInfo{}, false
+	}
+	return in, true
+}
+
+// Supports reports whether the machine implements opcode o.
+func (d *Desc) Supports(o Opcode) bool {
+	_, ok := d.Lookup(o)
+	return ok
+}
+
+// Info returns the execution profile of opcode o.
+// It panics on an opcode the machine does not implement: loops are
+// validated against their machine before scheduling (ir.Loop.Finalize,
+// the wire decode boundary), so an unsupported op reaching a scheduler
+// indicates a compiler bug.
+func (d *Desc) Info(o Opcode) OpInfo {
+	in, ok := d.Lookup(o)
+	if !ok {
+		panic(fmt.Sprintf("machine: %s has no execution profile for %v", d.Name, o))
 	}
 	return in
 }
 
 // Latency is shorthand for Info(o).Latency.
 func (d *Desc) Latency(o Opcode) int { return d.Info(o).Latency }
+
+// UnsupportedOpError reports an operation a machine cannot execute —
+// the typed verdict the wire decode boundary and ir.Loop.Finalize
+// return so servers can map "this target cannot run these ops" to a
+// client error (422) rather than an internal failure.
+type UnsupportedOpError struct {
+	Machine string
+	Op      Opcode
+}
+
+func (e *UnsupportedOpError) Error() string {
+	return fmt.Sprintf("machine: %s does not implement %v", e.Machine, e.Op)
+}
 
 // Latencies describes the adjustable latencies of a machine variant.
 // Section 8 of the paper reports that experiments with different
@@ -222,18 +315,25 @@ func CydraLatencies() Latencies {
 	return Latencies{Load: 13, Store: 1, Addr: 1, Add: 1, Mul: 2, Div: 17, Sqrt: 21, BrTop: 2}
 }
 
-// New builds a machine description with the paper's unit mix (Table 1)
-// and the given latencies.
-func New(name string, lat Latencies) *Desc {
-	d := &Desc{Name: name}
-	d.count = [NumFUKinds]int{
-		MemPort:    2,
-		AddrALU:    2,
-		Adder:      1,
-		Multiplier: 1,
-		Divider:    1,
-		Branch:     1,
+// cydraUnits returns the paper's unit mix (Table 1) as per-class
+// metadata: the divider is the one non-pipelined, scarce class.
+func cydraUnits() []UnitSpec {
+	return []UnitSpec{
+		MemPort:    {Name: "MemPort", Count: 2},
+		AddrALU:    {Name: "AddrALU", Count: 2},
+		Adder:      {Name: "Adder", Count: 1},
+		Multiplier: {Name: "Multiplier", Count: 1},
+		Divider:    {Name: "Divider", Count: 1, NotPipelined: true},
+		Branch:     {Name: "Branch", Count: 1},
 	}
+}
+
+// New builds a machine description with the paper's unit mix (Table 1)
+// and the given latencies, directly — without going through a Spec.
+// It is the hard-coded reference implementation: the differential
+// tests pin the spec-built paper variants bit-identically against it.
+func New(name string, lat Latencies) *Desc {
+	d := &Desc{Name: name, units: cydraUnits(), info: make([]OpInfo, NumOpcodes)}
 	set := func(o Opcode, k FUKind, latency, busy int) {
 		if latency < 1 || busy < 1 {
 			panic(fmt.Sprintf("machine: bad latency for %v", o))
@@ -271,40 +371,30 @@ func New(name string, lat Latencies) *Desc {
 	return d
 }
 
-// Cydra returns the paper's target machine: the unit mix and latencies of
-// Table 1 with a non-pipelined divider.
-func Cydra() *Desc { return New("cydra", CydraLatencies()) }
+// Cydra returns the paper's target machine: the unit mix and latencies
+// of Table 1 with a non-pipelined divider. Since the declarative
+// refactor it is the registered, spec-built instance (bit-identical to
+// New("cydra", CydraLatencies()); the differential test pins this).
+func Cydra() *Desc { return mustLookup(PaperMachine) }
 
 // ShortMemory returns a variant with a 6-cycle load (first-level-cache
 // hit), used by the latency-robustness experiment (Section 8).
-func ShortMemory() *Desc {
-	lat := CydraLatencies()
-	lat.Load = 6
-	return New("shortmem", lat)
-}
+func ShortMemory() *Desc { return mustLookup("shortmem") }
 
 // LongOps returns a variant with uniformly longer arithmetic latencies,
 // used by the latency-robustness experiment (Section 8).
-func LongOps() *Desc {
-	lat := CydraLatencies()
-	lat.Add = 2
-	lat.Mul = 4
-	lat.Div = 24
-	lat.Sqrt = 30
-	return New("longops", lat)
-}
+func LongOps() *Desc { return mustLookup("longops") }
 
 // PipelinedDivide returns a variant whose divider is fully pipelined, an
 // ablation showing how the complex non-pipelined reservation pattern
 // stresses the scheduler.
-func PipelinedDivide() *Desc {
-	lat := CydraLatencies()
-	lat.PipelinedDivider = true
-	return New("pipediv", lat)
-}
+func PipelinedDivide() *Desc { return mustLookup("pipediv") }
 
 // Variants returns the machine descriptions exercised by the
-// latency-robustness experiment, the paper's machine first.
+// latency-robustness experiment (Section 8), the paper's machine
+// first. The wider registered target family — including the clustered
+// VLIW, wide-SIMD, and CGRA-grid profiles — is listed by Names and
+// Machines.
 func Variants() []*Desc {
 	return []*Desc{Cydra(), ShortMemory(), LongOps(), PipelinedDivide()}
 }

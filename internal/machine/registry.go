@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"sort"
+	"sync"
+)
+
+// PaperMachine is the name of the paper's target (Table 1); Names and
+// Machines list it first.
+const PaperMachine = "cydra"
+
+// The machine registry mirrors the scheduler registry in core: targets
+// register under their name, the wire layer resolves request machine
+// names through Lookup, and GET /v1/machines serves Names/Machines.
+// The built-in target family self-registers at init (targets.go);
+// external packages and daemon flags (lsmsd -machines) can add more.
+var registry = struct {
+	sync.RWMutex
+	m map[string]*Desc
+}{m: map[string]*Desc{}}
+
+// Register makes a machine available under its name, replacing any
+// previous registration. It panics on a nil desc or empty name.
+func Register(d *Desc) {
+	if d == nil {
+		panic("machine: Register with nil desc")
+	}
+	if d.Name == "" {
+		panic("machine: Register with empty machine name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	registry.m[d.Name] = d
+}
+
+// Lookup returns the machine registered under name.
+func Lookup(name string) (*Desc, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	d, ok := registry.m[name]
+	return d, ok
+}
+
+// mustLookup resolves a built-in target; absence is a programming bug.
+func mustLookup(name string) *Desc {
+	d, ok := Lookup(name)
+	if !ok {
+		panic("machine: built-in target " + name + " not registered")
+	}
+	return d
+}
+
+// Names lists every registered machine name: the paper's machine
+// first, the rest in sorted order (mirroring core.Schedulers).
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		if n != PaperMachine {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if _, ok := registry.m[PaperMachine]; ok {
+		names = append([]string{PaperMachine}, names...)
+	}
+	return names
+}
+
+// Machines returns every registered description in Names order.
+func Machines() []*Desc {
+	names := Names()
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Desc, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry.m[n])
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// paperFamily returns the (name, latencies) pairs of the four paper
+// variants, matching both the spec family and the hard-coded tables.
+func paperFamily() map[string]Latencies {
+	shortmem := CydraLatencies()
+	shortmem.Load = 6
+	longops := CydraLatencies()
+	longops.Add, longops.Mul, longops.Div, longops.Sqrt = 2, 4, 24, 30
+	pipediv := CydraLatencies()
+	pipediv.PipelinedDivider = true
+	return map[string]Latencies{
+		PaperMachine: CydraLatencies(),
+		"shortmem":   shortmem,
+		"longops":    longops,
+		"pipediv":    pipediv,
+	}
+}
+
+// TestFamilySpecsMatchHardcoded pins the declarative paper variants
+// bit-identical to the hard-coded New tables: same unit mix, same
+// per-opcode kind/latency/busy, same NotPipelined marks. This is the
+// differential guarantee that lets the registry serve spec-built
+// machines without perturbing any paper number.
+func TestFamilySpecsMatchHardcoded(t *testing.T) {
+	for name, lat := range paperFamily() {
+		ref := New(name, lat)
+		got, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("built-in %q not registered", name)
+		}
+		if got.NumKinds() != ref.NumKinds() {
+			t.Fatalf("%s: NumKinds = %d, want %d", name, got.NumKinds(), ref.NumKinds())
+		}
+		for k := FUKind(0); int(k) < ref.NumKinds(); k++ {
+			if got.Count(k) != ref.Count(k) {
+				t.Errorf("%s: Count(%v) = %d, want %d", name, k, got.Count(k), ref.Count(k))
+			}
+			if got.KindName(k) != ref.KindName(k) {
+				t.Errorf("%s: KindName(%v) = %q, want %q", name, k, got.KindName(k), ref.KindName(k))
+			}
+			if got.NotPipelined(k) != ref.NotPipelined(k) {
+				t.Errorf("%s: NotPipelined(%v) = %v, want %v", name, k, got.NotPipelined(k), ref.NotPipelined(k))
+			}
+		}
+		for o := Opcode(0); int(o) < NumOpcodes; o++ {
+			gi, gok := got.Lookup(o)
+			ri, rok := ref.Lookup(o)
+			if gok != rok || gi != ri {
+				t.Errorf("%s: Lookup(%v) = %+v,%v, want %+v,%v", name, o, gi, gok, ri, rok)
+			}
+		}
+	}
+}
+
+// TestPipedivDamping checks the one subtle bit of the bit-identity
+// story: the pipelined-divider ablation keeps its Divider class marked
+// NotPipelined (so slack damping still applies to divide-class ops, as
+// the hard-coded Kind==Divider test did) while the profiles override
+// Busy down to 1.
+func TestPipedivDamping(t *testing.T) {
+	d, _ := Lookup("pipediv")
+	if !d.NotPipelined(Divider) {
+		t.Fatal("pipediv Divider lost its NotPipelined mark; slack damping would change")
+	}
+	info, ok := d.Lookup(FDiv)
+	if !ok || info.Busy != 1 {
+		t.Fatalf("pipediv fdiv = %+v,%v; want Busy 1", info, ok)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := FamilySpec(PaperMachine, CydraLatencies())
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, parsed) {
+		t.Fatalf("spec changed across JSON round-trip:\n%+v\n%+v", orig, parsed)
+	}
+	ref := New(PaperMachine, CydraLatencies())
+	got := parsed.MustBuild()
+	for o := Opcode(0); int(o) < NumOpcodes; o++ {
+		gi, gok := got.Lookup(o)
+		ri, rok := ref.Lookup(o)
+		if gok != rok || gi != ri {
+			t.Errorf("round-tripped Lookup(%v) = %+v,%v, want %+v,%v", o, gi, gok, ri, rok)
+		}
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	base := func() *Spec { return FamilySpec("m", CydraLatencies()) }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "no name"},
+		{"no units", func(s *Spec) { s.Units = nil }, "no functional units"},
+		{"unnamed unit", func(s *Spec) { s.Units[0].Name = "" }, "has no name"},
+		{"dup unit", func(s *Spec) { s.Units[1].Name = s.Units[0].Name }, "duplicate unit"},
+		{"zero count", func(s *Spec) { s.Units[0].Count = 0 }, "count 0"},
+		{"no profiles", func(s *Spec) { s.Profiles = nil }, "no execution profiles"},
+		{"unknown unit", func(s *Spec) { s.Profiles[0].Unit = "Teleporter" }, "unknown unit"},
+		{"zero latency", func(s *Spec) { s.Profiles[0].Latency = 0 }, "latency 0"},
+		{"negative busy", func(s *Spec) { s.Profiles[0].Busy = -1 }, "negative busy"},
+		{"empty ops", func(s *Spec) { s.Profiles[0].Ops = nil }, "lists no ops"},
+		{"unreferenced unit", func(s *Spec) { s.Units = append(s.Units, UnitSpec{Name: "Spare", Count: 1}) }, "no execution profile"},
+		{"unknown opcode", func(s *Spec) { s.Profiles[0].Ops = []string{"teleport"} }, "unknown opcode"},
+		{"dup opcode", func(s *Spec) { s.Profiles[1].Ops = []string{"load"} }, "profiled twice"},
+		{"unknown regfile", func(s *Spec) { s.RegFiles = []RegFileSpec{{Name: "XR"}} }, "unknown file"},
+		{"dup regfile", func(s *Spec) { s.RegFiles = []RegFileSpec{{Name: "RR"}, {Name: "RR"}} }, "duplicate register file"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base spec should validate: %v", err)
+	}
+}
+
+// TestPartialSpec checks the unsupported-opcode surface: a target
+// implementing a subset of the opcode space reports the rest through
+// Lookup/Supports, and Info names the machine in its panic.
+func TestPartialSpec(t *testing.T) {
+	s := &Spec{
+		Name:  "tiny",
+		Units: []UnitSpec{{Name: "ALU", Count: 1}},
+		Profiles: []ProfileSpec{
+			{Ops: []string{"iadd", "brtop"}, Unit: "ALU", Latency: 1},
+		},
+	}
+	d, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Supports(IAdd) || d.Supports(FDiv) || d.Supports(Nop) {
+		t.Fatalf("Supports wrong: iadd=%v fdiv=%v nop=%v", d.Supports(IAdd), d.Supports(FDiv), d.Supports(Nop))
+	}
+	if _, ok := d.Lookup(FDiv); ok {
+		t.Fatal("Lookup(fdiv) succeeded on a machine without a divider")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Info(fdiv) did not panic on unsupported op")
+		}
+		if !strings.Contains(fmt.Sprint(r), "tiny") {
+			t.Fatalf("panic %v does not name the machine", r)
+		}
+	}()
+	d.Info(FDiv)
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) == 0 || names[0] != PaperMachine {
+		t.Fatalf("Names() = %v; want %q first", names, PaperMachine)
+	}
+	for _, want := range []string{"cydra", "shortmem", "longops", "pipediv", "cluster2", "simdwide", "cgra4"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("built-in %q not registered", want)
+		}
+	}
+	for i := 2; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("Names() tail not sorted: %v", names)
+		}
+	}
+	ms := Machines()
+	if len(ms) != len(names) {
+		t.Fatalf("Machines() returned %d descs for %d names", len(ms), len(names))
+	}
+	for i, m := range ms {
+		if m.Name != names[i] {
+			t.Fatalf("Machines()[%d] = %q, want %q", i, m.Name, names[i])
+		}
+	}
+	if _, ok := Lookup("no-such-machine"); ok {
+		t.Fatal("Lookup invented a machine")
+	}
+}
+
+// TestCGRAGridShape proves the dynamic sizing is real: the CGRA-like
+// target has three unit classes, not the paper's six, and its divides
+// monopolize a pipelined PE via an explicit busy span.
+func TestCGRAGridShape(t *testing.T) {
+	d, ok := Lookup("cgra4")
+	if !ok {
+		t.Fatal("cgra4 not registered")
+	}
+	if d.NumKinds() != 3 {
+		t.Fatalf("cgra4 NumKinds = %d, want 3", d.NumKinds())
+	}
+	if d.Count(0) != 4 || d.KindName(0) != "PE" {
+		t.Fatalf("cgra4 kind 0 = %s×%d, want PE×4", d.KindName(0), d.Count(0))
+	}
+	info := d.Info(FDiv)
+	if info.Busy != 8 || info.Latency != 8 {
+		t.Fatalf("cgra4 fdiv = %+v, want latency 8 busy 8", info)
+	}
+	if d.NotPipelined(0) {
+		t.Fatal("cgra4 PE class should be pipelined")
+	}
+	// Count/KindName degrade gracefully out of range.
+	if d.Count(FUKind(7)) != 0 {
+		t.Fatal("Count out of range should be 0")
+	}
+}
+
+func TestDescSpecIsPrivate(t *testing.T) {
+	d, _ := Lookup(PaperMachine)
+	sp := d.Spec()
+	if sp == nil {
+		t.Fatal("registered built-in has no spec")
+	}
+	before := d.Count(MemPort)
+	sp.Units[MemPort].Count = 99
+	d2, _ := Lookup(PaperMachine)
+	if d2.Count(MemPort) != before {
+		t.Fatal("mutating Spec() copy reached the registered desc")
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for o := Opcode(1); int(o) < NumOpcodes; o++ {
+		got, ok := OpcodeByName(o.String())
+		if !ok || got != o {
+			t.Fatalf("OpcodeByName(%q) = %v,%v", o.String(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("nop"); ok {
+		t.Fatal("nop should not be profilable")
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Fatal("bogus opcode resolved")
+	}
+}

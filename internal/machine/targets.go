@@ -1,0 +1,164 @@
+// The built-in target family, expressed as data. The four paper
+// variants (Table 1 plus the Section 8 latency ablations) are
+// re-expressed as Specs — the differential test in spec_test.go pins
+// them bit-identical to the hard-coded New tables — and three targets
+// beyond the paper widen scenario coverage: a clustered VLIW
+// (resource-rich), a wide-SIMD pipeline (deep latencies, lifetime
+// pressure), and a CGRA-grid-like profile (scarce, near-homogeneous
+// units where placement pressure dominates). All register themselves
+// at init; lsmsd serves compiles for any of them by name.
+package machine
+
+// adderOps lists every opcode the paper's general-purpose Adder
+// executes: integer and float add/sub/logical/compare, predicate
+// manipulation, copies, and conversions.
+var adderOps = []string{
+	"iadd", "isub", "iand", "ior", "ixor",
+	"icmpeq", "icmpne", "icmplt", "icmple", "icmpgt", "icmpge",
+	"fadd", "fsub", "fneg", "fabs", "fmax", "fmin",
+	"fcmpeq", "fcmpne", "fcmplt", "fcmple", "fcmpgt", "fcmpge",
+	"pnot", "pand", "por", "copy", "fcopy", "itof", "ftoi",
+}
+
+// addrOps and mulOps are the Address-ALU and Multiplier opcode groups.
+var (
+	addrOps = []string{"aadd", "asub", "amul"}
+	mulOps  = []string{"imul", "fmul"}
+	divOps  = []string{"idiv", "imod", "fdiv"}
+)
+
+// FamilySpec expresses one paper-family variant (the Table 1 unit mix
+// at the given latencies) as a declarative spec. The Divider class
+// stays marked NotPipelined even for the pipelined-divider ablation —
+// its profiles then override Busy to 1 — so spec-built variants keep
+// the scarce-op slack damping the hard-coded tables implied and
+// schedule bit-identically to them.
+func FamilySpec(name string, lat Latencies) *Spec {
+	divBusy := 0 // default: full latency, because the Divider is NotPipelined
+	if lat.PipelinedDivider {
+		divBusy = 1
+	}
+	return &Spec{
+		Name: name,
+		Units: []UnitSpec{
+			{Name: "MemPort", Count: 2},
+			{Name: "AddrALU", Count: 2},
+			{Name: "Adder", Count: 1},
+			{Name: "Multiplier", Count: 1},
+			{Name: "Divider", Count: 1, NotPipelined: true},
+			{Name: "Branch", Count: 1},
+		},
+		Profiles: []ProfileSpec{
+			{Ops: []string{"load"}, Unit: "MemPort", Latency: lat.Load},
+			{Ops: []string{"store"}, Unit: "MemPort", Latency: lat.Store},
+			{Ops: addrOps, Unit: "AddrALU", Latency: lat.Addr},
+			{Ops: adderOps, Unit: "Adder", Latency: lat.Add},
+			{Ops: mulOps, Unit: "Multiplier", Latency: lat.Mul},
+			{Ops: divOps, Unit: "Divider", Latency: lat.Div, Busy: divBusy},
+			{Ops: []string{"fsqrt"}, Unit: "Divider", Latency: lat.Sqrt, Busy: divBusy},
+			{Ops: []string{"brtop"}, Unit: "Branch", Latency: lat.BrTop},
+		},
+		RegFiles: DefaultRegFiles(),
+	}
+}
+
+// ClusteredVLIWSpec is a two-cluster VLIW: the Cydra mix with the
+// scalar Adder and Multiplier doubled (one per cluster). Resource-rich
+// targets schedule at MII more often, shifting the pressure question
+// from "can it be placed" to "how long do values live".
+func ClusteredVLIWSpec() *Spec {
+	lat := CydraLatencies()
+	s := FamilySpec("cluster2", lat)
+	s.Units[Adder].Count = 2
+	s.Units[Multiplier].Count = 2
+	return s
+}
+
+// WideSIMDSpec is a wide-SIMD arithmetic pipeline in the style of the
+// comparative-study targets: deeply pipelined vector units (4-cycle
+// adds, 6-cycle multiplies, a fully pipelined 24-cycle divider) behind
+// a 20-cycle streaming memory. Long latencies stretch lifetimes, so
+// MaxLive — not placement — dominates; the lifetime-sensitive policy's
+// home turf.
+func WideSIMDSpec() *Spec {
+	return &Spec{
+		Name: "simdwide",
+		Units: []UnitSpec{
+			{Name: "MemPort", Count: 2},
+			{Name: "AddrALU", Count: 2},
+			{Name: "VecALU", Count: 2},
+			{Name: "VecMul", Count: 1},
+			{Name: "VecDiv", Count: 1}, // fully pipelined: busy 1
+			{Name: "Branch", Count: 1},
+		},
+		Profiles: []ProfileSpec{
+			{Ops: []string{"load"}, Unit: "MemPort", Latency: 20},
+			{Ops: []string{"store"}, Unit: "MemPort", Latency: 2},
+			{Ops: addrOps, Unit: "AddrALU", Latency: 1},
+			{Ops: adderOps, Unit: "VecALU", Latency: 4},
+			{Ops: mulOps, Unit: "VecMul", Latency: 6},
+			{Ops: divOps, Unit: "VecDiv", Latency: 24},
+			{Ops: []string{"fsqrt"}, Unit: "VecDiv", Latency: 32},
+			{Ops: []string{"brtop"}, Unit: "Branch", Latency: 2},
+		},
+		RegFiles: DefaultRegFiles(),
+	}
+}
+
+// CGRAGridSpec is a CGRA-grid-like profile (SAT-MapIt's domain): four
+// near-homogeneous processing elements execute all computation —
+// including multi-cycle divides that monopolize a PE for their full
+// span — behind a single memory port. Unit scarcity and placement
+// pressure dominate; it also exercises a unit-class count different
+// from the paper's six (three classes), proving the desc-sized
+// scratch paths carry no Table 1 assumptions.
+func CGRAGridSpec() *Spec {
+	peOps := append(append([]string{}, addrOps...), adderOps...)
+	return &Spec{
+		Name: "cgra4",
+		Units: []UnitSpec{
+			{Name: "PE", Count: 4},
+			{Name: "MemPort", Count: 1},
+			{Name: "Branch", Count: 1},
+		},
+		Profiles: []ProfileSpec{
+			{Ops: []string{"load"}, Unit: "MemPort", Latency: 2},
+			{Ops: []string{"store"}, Unit: "MemPort", Latency: 1},
+			{Ops: peOps, Unit: "PE", Latency: 1},
+			{Ops: mulOps, Unit: "PE", Latency: 2},
+			// Divides occupy their PE for the full span even though the
+			// class is otherwise pipelined — the grid has no dedicated
+			// divider to hide them on.
+			{Ops: divOps, Unit: "PE", Latency: 8, Busy: 8},
+			{Ops: []string{"fsqrt"}, Unit: "PE", Latency: 12, Busy: 12},
+			{Ops: []string{"brtop"}, Unit: "Branch", Latency: 1},
+		},
+		RegFiles: DefaultRegFiles(),
+	}
+}
+
+// BuiltinSpecs returns the declarative documents of the built-in
+// target family, paper variants first.
+func BuiltinSpecs() []*Spec {
+	shortmem := CydraLatencies()
+	shortmem.Load = 6
+	longops := CydraLatencies()
+	longops.Add, longops.Mul, longops.Div, longops.Sqrt = 2, 4, 24, 30
+	pipediv := CydraLatencies()
+	pipediv.PipelinedDivider = true
+	return []*Spec{
+		FamilySpec(PaperMachine, CydraLatencies()),
+		FamilySpec("shortmem", shortmem),
+		FamilySpec("longops", longops),
+		FamilySpec("pipediv", pipediv),
+		ClusteredVLIWSpec(),
+		WideSIMDSpec(),
+		CGRAGridSpec(),
+	}
+}
+
+func init() {
+	for _, s := range BuiltinSpecs() {
+		Register(s.MustBuild())
+	}
+}

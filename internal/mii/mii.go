@@ -58,15 +58,24 @@ func ComputeContext(ctx context.Context, l *ir.Loop) (Bounds, error) {
 	return Bounds{ResMII: res, RecMII: rec, MII: m}, nil
 }
 
-// ResMII returns the resource-constrained lower bound on II.
+// ResMII returns the resource-constrained lower bound on II. It runs
+// once per compile, so the per-kind accumulator stays on the stack for
+// any machine up to 16 unit classes (all built-ins have ≤ 6).
 func ResMII(l *ir.Loop) int {
-	var busy [machine.NumFUKinds]int
+	nk := l.Mach.NumKinds()
+	var buf [16]int
+	var busy []int
+	if nk <= len(buf) {
+		busy = buf[:nk]
+	} else {
+		busy = make([]int, nk)
+	}
 	for _, op := range l.Ops {
 		info := l.Mach.Info(op.Opcode)
 		busy[info.Kind] += info.Busy
 	}
 	res := 1
-	for k := 0; k < machine.NumFUKinds; k++ {
+	for k := 0; k < nk; k++ {
 		cnt := l.Mach.Count(machine.FUKind(k))
 		if cnt == 0 || busy[k] == 0 {
 			continue
@@ -108,9 +117,12 @@ func CriticalOps(l *ir.Loop, ii int) []bool {
 	return out
 }
 
-// UsesDivider reports whether the op runs on the divider; Section 4.3
-// halves such ops' slack (again) because the non-pipelined reservation
-// pattern leaves them very few issue slots.
+// UsesDivider reports whether the op runs on a scarce (non-pipelined)
+// unit class; Section 4.3 halves such ops' slack (again) because the
+// non-pipelined reservation pattern leaves them very few issue slots.
+// On the paper machines the only such class is the Divider — including
+// the pipelined-divider ablation, whose class keeps the mark — so this
+// generalization is bit-identical on the paper family.
 func UsesDivider(l *ir.Loop, op *ir.Op) bool {
-	return l.Mach.Info(op.Opcode).Kind == machine.Divider
+	return l.Mach.NotPipelined(l.Mach.Info(op.Opcode).Kind)
 }

@@ -68,10 +68,11 @@ func (t *Table) init(l *ir.Loop, ii int) *Table {
 	n := len(l.Ops)
 	t.ii, t.loop = ii, l
 	t.at = growInts(t.at, n)
-	if cap(t.slots) >= machine.NumFUKinds {
-		t.slots = t.slots[:machine.NumFUKinds]
+	nk := l.Mach.NumKinds()
+	if cap(t.slots) >= nk {
+		t.slots = t.slots[:nk]
 	} else {
-		t.slots = make([][]ir.OpID, machine.NumFUKinds)
+		t.slots = make([][]ir.OpID, nk)
 	}
 	for k := range t.slots {
 		cnt := l.Mach.Count(machine.FUKind(k))

@@ -146,22 +146,24 @@ func (a *Arena) prepareLoop(l *ir.Loop) {
 	st.divider = growBools(st.divider, n)
 	st.brtop = -1
 	for i, op := range l.Ops {
-		st.divider[i] = l.Mach.Info(op.Opcode).Kind == machine.Divider
+		st.divider[i] = l.Mach.NotPipelined(l.Mach.Info(op.Opcode).Kind)
 		if op.Opcode == machine.BrTop {
 			st.brtop = i
 		}
 	}
 	st.contention = mii.HasResourceContention(l)
 
-	// Busy cycles per functional-unit instance (criticality denominator).
+	// Busy cycles per functional-unit instance (criticality denominator),
+	// sized by the machine's own class count.
+	nk := l.Mach.NumKinds()
 	maxFU := 0
-	for k := 0; k < machine.NumFUKinds; k++ {
+	for k := 0; k < nk; k++ {
 		if c := l.Mach.Count(machine.FUKind(k)); c > maxFU {
 			maxFU = c
 		}
 	}
 	a.maxFU = maxFU
-	a.fuBusy = growI32(a.fuBusy, machine.NumFUKinds*maxFU)
+	a.fuBusy = growI32(a.fuBusy, nk*maxFU)
 	for i := range a.fuBusy {
 		a.fuBusy[i] = 0
 	}

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/wire"
@@ -146,6 +147,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
+	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -234,6 +236,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	norm, loop, err := req.Normalize()
 	if err != nil {
+		// Ops the target cannot execute are a well-formed request for
+		// impossible work — unprocessable (422), not malformed (400).
+		var ue *machine.UnsupportedOpError
+		if errors.As(err, &ue) {
+			s.m.badRequests.Inc()
+			s.writeError(w, http.StatusUnprocessableEntity, &wire.Error{
+				Kind:    wire.ErrKindUnsupportedOp,
+				Message: err.Error(),
+			}, "")
+			return
+		}
 		s.badRequest(w, err)
 		return
 	}
@@ -582,6 +595,36 @@ func (s *Server) handleSchedulers(w http.ResponseWriter, r *http.Request) {
 		Schedulers []core.SchedulerName `json:"schedulers"`
 		Default    core.SchedulerName   `json:"default"`
 	}{Schedulers: names, Default: core.SchedSlack}
+	body, _ := json.Marshal(out)
+	s.writeRaw(w, http.StatusOK, body, "")
+}
+
+// handleMachines lists the registered targets with their unit mixes,
+// mirroring /v1/schedulers: what can this daemon compile for, and with
+// what resources. Clients with a target the daemon has never heard of
+// embed a machine_spec in the compile request instead.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	type unit struct {
+		Name         string `json:"name"`
+		Count        int    `json:"count"`
+		NotPipelined bool   `json:"not_pipelined,omitempty"`
+	}
+	type target struct {
+		Name  string `json:"name"`
+		Units []unit `json:"units"`
+	}
+	descs := machine.Machines()
+	out := struct {
+		Machines []target `json:"machines"`
+		Default  string   `json:"default"`
+	}{Machines: make([]target, 0, len(descs)), Default: machine.PaperMachine}
+	for _, d := range descs {
+		t := target{Name: d.Name}
+		for _, u := range d.Units() {
+			t.Units = append(t.Units, unit{Name: u.Name, Count: u.Count, NotPipelined: u.NotPipelined})
+		}
+		out.Machines = append(out.Machines, t)
+	}
 	body, _ := json.Marshal(out)
 	s.writeRaw(w, http.StatusOK, body, "")
 }

@@ -478,3 +478,123 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz: %+v", out)
 	}
 }
+
+// TestMachinesEndpoint: GET /v1/machines lists the registered target
+// family with unit mixes, paper machine first and marked default.
+func TestMachinesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Machines []struct {
+			Name  string `json:"name"`
+			Units []struct {
+				Name         string `json:"name"`
+				Count        int    `json:"count"`
+				NotPipelined bool   `json:"not_pipelined"`
+			} `json:"units"`
+		} `json:"machines"`
+		Default string `json:"default"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("bad body %s: %v", b, err)
+	}
+	if out.Default != machine.PaperMachine {
+		t.Errorf("default %q, want %q", out.Default, machine.PaperMachine)
+	}
+	if len(out.Machines) == 0 || out.Machines[0].Name != machine.PaperMachine {
+		t.Fatalf("machines %v: want %q first", out.Machines, machine.PaperMachine)
+	}
+	listed := map[string]bool{}
+	for _, m := range out.Machines {
+		listed[m.Name] = true
+	}
+	for _, want := range []string{"cydra", "shortmem", "longops", "pipediv", "cluster2", "simdwide", "cgra4"} {
+		if !listed[want] {
+			t.Errorf("built-in %q missing from listing", want)
+		}
+	}
+	cy := out.Machines[0]
+	if len(cy.Units) != 6 || cy.Units[0].Name != "MemPort" || cy.Units[0].Count != 2 {
+		t.Errorf("cydra unit mix wrong: %+v", cy.Units)
+	}
+	if !cy.Units[4].NotPipelined {
+		t.Errorf("cydra divider not marked not_pipelined: %+v", cy.Units[4])
+	}
+}
+
+// TestUnsupportedOpMaps422: a request whose ops the target cannot
+// execute is unprocessable (422 unsupported-op), not a 400 or a
+// panic-isolation 500.
+func TestUnsupportedOpMaps422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	l := fixture.Daxpy(machine.Cydra())
+	req, err := wire.NewRequest(l, "slack", wire.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An inline target with no Multiplier: daxpy's fmul cannot run.
+	req.Machine = "no-mul"
+	req.MachineSpec = &machine.Spec{
+		Name:  "no-mul",
+		Units: []machine.UnitSpec{{Name: "ALU", Count: 4}, {Name: "Mem", Count: 2}},
+		Profiles: []machine.ProfileSpec{
+			{Ops: []string{"load", "store"}, Unit: "Mem", Latency: 2},
+			{Ops: []string{"fadd", "aadd", "brtop"}, Unit: "ALU", Latency: 1},
+		},
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL, b)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	r := decodeResponse(t, body)
+	if r.Error == nil || r.Error.Kind != wire.ErrKindUnsupportedOp {
+		t.Fatalf("error %+v, want kind %q", r.Error, wire.ErrKindUnsupportedOp)
+	}
+	if !strings.Contains(r.Error.Message, "fmul") {
+		t.Errorf("message %q does not name the unsupported op", r.Error.Message)
+	}
+}
+
+// TestInlineSpecCompile: a compile against a request-carried target
+// works end to end, and distinct inline targets get distinct cache
+// entries (the spec is folded into the content hash).
+func TestInlineSpecCompile(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := machine.FamilySpec("inline-box", machine.CydraLatencies())
+	spec.Units[machine.MemPort].Count = 1
+	l := fixture.Daxpy(spec.MustBuild())
+	body := requestBody(t, l, "slack", wire.Options{})
+	resp, out := post(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	r := decodeResponse(t, out)
+	if !r.OK || r.Machine != "inline-box" {
+		t.Fatalf("response %+v: want ok on inline-box", r)
+	}
+	// Same loop on registered cydra: must be a different cache entry
+	// with a different (here: lower) II, since cydra has 2 mem ports.
+	respCy, outCy := post(t, ts.URL, requestBody(t, fixture.Daxpy(machine.Cydra()), "slack", wire.Options{}))
+	if respCy.StatusCode != http.StatusOK {
+		t.Fatalf("cydra status %d: %s", respCy.StatusCode, outCy)
+	}
+	rCy := decodeResponse(t, outCy)
+	if rCy.Hash == r.Hash {
+		t.Error("inline-box and cydra requests share a content address")
+	}
+	if r.II <= rCy.II {
+		t.Errorf("II %d on one mem port should exceed II %d on two", r.II, rCy.II)
+	}
+}

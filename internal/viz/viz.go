@@ -25,7 +25,7 @@ func MRT(l *ir.Loop, s *ir.Schedule) string {
 	}
 	rows := map[slot][]string{}
 	var order []slot
-	for k := 0; k < machine.NumFUKinds; k++ {
+	for k := 0; k < l.Mach.NumKinds(); k++ {
 		kind := machine.FUKind(k)
 		for fu := 0; fu < l.Mach.Count(kind); fu++ {
 			sl := slot{kind, fu}

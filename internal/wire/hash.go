@@ -22,7 +22,11 @@ import (
 //   - The deterministic work caps (MaxCentralIters, MaxIIAttempts) ARE
 //     included: they change the outcome reproducibly.
 //   - Scheduler, machine, Degrade, and every remaining Option are
-//     included: each changes the schedule the request denotes.
+//     included: each changes the schedule the request denotes. An
+//     inline machine_spec is included whole — two requests carrying
+//     different target descriptions can never share a cache entry —
+//     and the version string is canonicalized first, so v1 and v2
+//     envelopes of the same request hash identically.
 func (r *Request) Hash() (string, error) {
 	n, _, err := r.Normalize()
 	if err != nil {
@@ -99,6 +103,7 @@ type Response struct {
 const (
 	ErrKindBadRequest       = "bad-request"       // 400
 	ErrKindUnknownScheduler = "unknown-scheduler" // 400
+	ErrKindUnsupportedOp    = "unsupported-op"    // 422
 	ErrKindInfeasible       = "infeasible"        // 422
 	ErrKindBudgetExhausted  = "budget-exhausted"  // 504
 	ErrKindOverloaded       = "overloaded"        // 429

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/machine"
 )
 
 // Reset clears the request envelope for reuse by json.Unmarshal, which
@@ -50,13 +52,14 @@ func (w *Loop) Reset() {
 // storage. Field names and order must match Request exactly; the
 // differential test in scratch_test.go holds the two together.
 type envelope struct {
-	Version   string          `json:"version"`
-	Machine   string          `json:"machine"`
-	Scheduler string          `json:"scheduler"`
-	Options   Options         `json:"options"`
-	Source    string          `json:"source"`
-	LoopIndex int             `json:"loop_index"`
-	Loop      json.RawMessage `json:"loop"`
+	Version     string          `json:"version"`
+	Machine     string          `json:"machine"`
+	MachineSpec json.RawMessage `json:"machine_spec"`
+	Scheduler   string          `json:"scheduler"`
+	Options     Options         `json:"options"`
+	Source      string          `json:"source"`
+	LoopIndex   int             `json:"loop_index"`
+	Loop        json.RawMessage `json:"loop"`
 }
 
 // Scratch is pooled request-decode storage: the envelope's raw-message
@@ -75,7 +78,7 @@ type Scratch struct {
 // keeping all buffer capacity for the next decode. Pools call this on
 // release so an idle scratch retains no request data.
 func (s *Scratch) Reset() {
-	s.env = envelope{Loop: s.env.Loop[:0]}
+	s.env = envelope{Loop: s.env.Loop[:0], MachineSpec: s.env.MachineSpec[:0]}
 	s.doc.Reset()
 	s.req.Reset()
 }
@@ -89,13 +92,24 @@ var jsonNull = []byte("null")
 // identical to json.Unmarshal into a fresh Request (the differential
 // test asserts canonical-byte equality over the corpus).
 func (s *Scratch) DecodeRequest(body []byte) (*Request, error) {
-	s.env = envelope{Loop: s.env.Loop[:0]}
+	s.env = envelope{Loop: s.env.Loop[:0], MachineSpec: s.env.MachineSpec[:0]}
 	if err := json.Unmarshal(body, &s.env); err != nil {
 		return nil, fmt.Errorf("parsing request: %w", err)
 	}
 	s.req.Reset()
 	s.req.Version = s.env.Version
 	s.req.Machine = s.env.Machine
+	if len(s.env.MachineSpec) > 0 && !bytes.Equal(s.env.MachineSpec, jsonNull) {
+		// Inline specs decode into a fresh document, not pooled storage:
+		// the built Desc keeps a reference to the spec, so reusing a
+		// buffer here would let one request's target leak into the next.
+		// They are also the rare path — named targets carry no spec.
+		spec := new(machine.Spec)
+		if err := json.Unmarshal(s.env.MachineSpec, spec); err != nil {
+			return nil, fmt.Errorf("parsing request machine_spec: %w", err)
+		}
+		s.req.MachineSpec = spec
+	}
 	s.req.Scheduler = s.env.Scheduler
 	s.req.Options = s.env.Options
 	s.req.Source = s.env.Source

@@ -25,9 +25,15 @@
 //
 // # Versioning
 //
-// Version is "lsms-wire/1". Decoders reject other versions; any change
-// to field names, field order, or canonicalization rules must bump it.
-// The golden fixture under testdata/ pins version 1's exact bytes.
+// Version is "lsms-wire/2", which added machine_spec: a request may
+// name a registered target or embed a declarative machine.Spec inline,
+// and the spec is part of the canonical bytes — distinct machines can
+// never share a content address. Decoders still accept "lsms-wire/1"
+// envelopes (a strict subset: no machine_spec) and Normalize
+// re-versions them to 2, so the v1 and v2 forms of the same request
+// share one hash and one cache entry. Any further change to field
+// names, field order, or canonicalization rules must bump the version.
+// The golden fixtures under testdata/ pin version 2's exact bytes.
 package wire
 
 import (
@@ -42,21 +48,34 @@ import (
 )
 
 // Version is the wire-format version emitted by this package.
-const Version = "lsms-wire/1"
+const Version = "lsms-wire/2"
+
+// VersionV1 is the previous wire format, still accepted on decode.
+// It differs from version 2 only by lacking machine_spec; Normalize
+// canonicalizes v1 envelopes to Version.
+const VersionV1 = "lsms-wire/1"
 
 // Request is one compilation request. Exactly one of Source or Loop
 // must be set: Source carries a mini-FORTRAN subroutine (LoopIndex
 // selects which innermost loop; the server canonicalizes it to IR form
 // before hashing, so the source- and IR-forms of the same loop share a
 // content address), Loop carries the IR directly.
+//
+// The target is either Machine — the name of a machine registered with
+// the server (see machine.Register, GET /v1/machines) — or
+// MachineSpec, a full declarative description carried in the request,
+// for targets the server has never heard of. When both are present
+// Machine must equal the spec's name; the spec wins (it is what
+// actually builds the desc) and is folded into the content hash.
 type Request struct {
-	Version   string  `json:"version"`
-	Machine   string  `json:"machine"`
-	Scheduler string  `json:"scheduler,omitempty"`
-	Options   Options `json:"options"`
-	Source    string  `json:"source,omitempty"`
-	LoopIndex int     `json:"loop_index,omitempty"`
-	Loop      *Loop   `json:"loop,omitempty"`
+	Version     string        `json:"version"`
+	Machine     string        `json:"machine"`
+	MachineSpec *machine.Spec `json:"machine_spec,omitempty"`
+	Scheduler   string        `json:"scheduler,omitempty"`
+	Options     Options       `json:"options"`
+	Source      string        `json:"source,omitempty"`
+	LoopIndex   int           `json:"loop_index,omitempty"`
+	Loop        *Loop         `json:"loop,omitempty"`
 }
 
 // Options is the serializable subset of sched.Config plus the
@@ -164,23 +183,13 @@ type Dep struct {
 }
 
 // LookupMachine resolves a machine name to its description.
+//
+// Deprecated: use machine.Lookup, which this now delegates to. The
+// registry covers the whole target family (and anything registered at
+// runtime), not just the four paper variants this used to scan.
 func LookupMachine(name string) (*machine.Desc, bool) {
-	for _, m := range machine.Variants() {
-		if m.Name == name {
-			return m, true
-		}
-	}
-	return nil, false
+	return machine.Lookup(name)
 }
-
-// opcodeByName maps assembler mnemonics back to opcodes.
-var opcodeByName = func() map[string]machine.Opcode {
-	m := make(map[string]machine.Opcode, machine.NumOpcodes)
-	for o := machine.Opcode(0); int(o) < machine.NumOpcodes; o++ {
-		m[o.String()] = o
-	}
-	return m
-}()
 
 var fileByName = map[string]ir.RegFile{
 	ir.RR.String(): ir.RR, ir.GPR.String(): ir.GPR, ir.ICR.String(): ir.ICR,
@@ -283,9 +292,15 @@ func (w *Loop) DecodeLoop(m *machine.Desc) (*ir.Loop, error) {
 		return nil
 	}
 	for i, wo := range w.Ops {
-		code, ok := opcodeByName[wo.Opcode]
+		code, ok := machine.OpcodeByName(wo.Opcode)
 		if !ok || code == machine.Nop {
 			return nil, fmt.Errorf("wire: op %d: unknown opcode %q", i, wo.Opcode)
+		}
+		if !m.Supports(code) {
+			// The decode boundary is where "this target cannot run these
+			// ops" becomes a client error; the typed verdict lets servers
+			// answer 422 instead of treating it as an internal failure.
+			return nil, &machine.UnsupportedOpError{Machine: m.Name, Op: code}
 		}
 		args := make([]ir.Operand, 0, len(wo.Args))
 		for _, a := range wo.Args {
@@ -326,29 +341,59 @@ func (w *Loop) DecodeLoop(m *machine.Desc) (*ir.Loop, error) {
 	return l, nil
 }
 
-// NewRequest builds an IR-form request for one finalized loop.
+// NewRequest builds an IR-form request for one finalized loop. If the
+// loop's machine is not registered under its name — a custom target
+// loaded from a spec file, say — and it carries a declarative spec,
+// the spec is embedded so any server can build the target from the
+// request alone.
 func NewRequest(l *ir.Loop, scheduler string, opt Options) (*Request, error) {
 	wl, err := EncodeLoop(l)
 	if err != nil {
 		return nil, err
 	}
-	return &Request{
+	r := &Request{
 		Version:   Version,
 		Machine:   l.Mach.Name,
 		Scheduler: scheduler,
 		Options:   opt,
 		Loop:      wl,
-	}, nil
+	}
+	if _, ok := machine.Lookup(l.Mach.Name); !ok {
+		r.MachineSpec = l.Mach.Spec()
+	}
+	return r, nil
 }
 
-// Validate checks the request's envelope (version, machine, exactly
-// one payload form) without touching the payload.
+// Desc resolves the request's target: the inline spec if present
+// (built and validated), the registry otherwise.
+func (r *Request) Desc() (*machine.Desc, error) {
+	if r.MachineSpec != nil {
+		if r.Machine != "" && r.Machine != r.MachineSpec.Name {
+			return nil, fmt.Errorf("wire: machine %q does not match inline spec %q", r.Machine, r.MachineSpec.Name)
+		}
+		return r.MachineSpec.Build()
+	}
+	m, ok := machine.Lookup(r.Machine)
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown machine %q", r.Machine)
+	}
+	return m, nil
+}
+
+// Validate checks the request's envelope (version, machine or inline
+// spec, exactly one payload form) without touching the payload.
 func (r *Request) Validate() error {
-	if r.Version != Version {
+	switch r.Version {
+	case Version:
+	case VersionV1:
+		if r.MachineSpec != nil {
+			return fmt.Errorf("wire: inline machine specs require version %q (request is %q)", Version, r.Version)
+		}
+	default:
 		return fmt.Errorf("wire: unsupported version %q (want %q)", r.Version, Version)
 	}
-	if _, ok := LookupMachine(r.Machine); !ok {
-		return fmt.Errorf("wire: unknown machine %q", r.Machine)
+	if _, err := r.Desc(); err != nil {
+		return err
 	}
 	if (r.Source == "") == (r.Loop == nil) {
 		return fmt.Errorf("wire: exactly one of source or loop must be set")
@@ -360,14 +405,22 @@ func (r *Request) Validate() error {
 // compiled (frontend) and its LoopIndex-th innermost loop replaces the
 // source, so source- and IR-form requests for the same loop
 // canonicalize — and content-hash — identically. An IR-form request is
-// round-tripped through DecodeLoop to validate it. The receiver is not
-// modified.
+// round-tripped through DecodeLoop to validate it. The envelope is
+// canonicalized too — a v1 version string becomes Version, and an
+// inline spec fills the machine name — so every accepted way of
+// writing a request converges on one set of canonical bytes. The
+// receiver is not modified.
 func (r *Request) Normalize() (*Request, *ir.Loop, error) {
 	if err := r.Validate(); err != nil {
 		return nil, nil, err
 	}
-	m, _ := LookupMachine(r.Machine)
+	m, err := r.Desc()
+	if err != nil {
+		return nil, nil, err
+	}
 	n := *r
+	n.Version = Version
+	n.Machine = m.Name
 	if r.Source != "" {
 		_, loops, err := frontend.Compile(r.Source, m)
 		if err != nil {

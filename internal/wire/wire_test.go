@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"reflect"
 	"testing"
@@ -169,6 +170,17 @@ func TestValidateRejectsBadEnvelopes(t *testing.T) {
 		"machine": func(r *Request) { r.Machine = "pdp11" },
 		"both":    func(r *Request) { r.Source = "x" },
 		"neither": func(r *Request) { r.Loop = nil },
+		"v1 with inline spec": func(r *Request) {
+			r.Version = VersionV1
+			r.MachineSpec = machine.FamilySpec("cydra", machine.CydraLatencies())
+		},
+		"spec name mismatch": func(r *Request) {
+			r.MachineSpec = machine.FamilySpec("other", machine.CydraLatencies())
+		},
+		"invalid inline spec": func(r *Request) {
+			r.Machine = ""
+			r.MachineSpec = &machine.Spec{Name: "broken"}
+		},
 	} {
 		r := *good
 		mut(&r)
@@ -210,7 +222,7 @@ func TestDecodeRejectsBadDocuments(t *testing.T) {
 
 // goldenHash pins the content address of the golden fixture; it can
 // only change together with the wire version.
-const goldenHash = "sha256:071327d14c486a52b7552e215aaffc185a2f26c5b8e9281042e2f764a6ab9844"
+const goldenHash = "sha256:6c63adf6c6a63a24d3bfc5222cb4b63e9d2625f28fd23d31865a6caf5b97759a"
 
 func TestGoldenFixture(t *testing.T) {
 	b, err := os.ReadFile("testdata/daxpy.wire.json")
@@ -245,5 +257,144 @@ func TestGoldenFixture(t *testing.T) {
 	ii2, t2, p2, e2 := compile(t, fixture.Daxpy(machine.Cydra()), "slack")
 	if ii1 != ii2 || p1 != p2 || e1 != e2 || !reflect.DeepEqual(t1, t2) {
 		t.Errorf("golden loop compiles differently from fixture.Daxpy: II %d vs %d", ii1, ii2)
+	}
+}
+
+// TestV1EnvelopeCompat: a version-1 envelope (no machine_spec — the
+// formats are otherwise identical) still decodes, and canonicalizes to
+// the same bytes — and therefore the same content address — as its v2
+// form, so clients straddling the version bump share cache entries.
+func TestV1EnvelopeCompat(t *testing.T) {
+	b, err := os.ReadFile("testdata/daxpy.wire.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Replace(b, []byte(Version), []byte(VersionV1), 1)
+	if bytes.Equal(v1, b) {
+		t.Fatal("version replacement did not take")
+	}
+	var r Request
+	if err := json.Unmarshal(v1, &r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("v1 envelope rejected: %v", err)
+	}
+	n, _, err := r.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Version != Version {
+		t.Errorf("Normalize left version %q, want %q", n.Version, Version)
+	}
+	h, err := r.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenHash {
+		t.Errorf("v1 form hashes %s, v2 form %s; they must share a cache entry", h, goldenHash)
+	}
+}
+
+// goldenSpecHash pins the content address of the inline-spec fixture:
+// a request carrying its own declarative target (an unregistered
+// single-memory-port Cydra derivative).
+const goldenSpecHash = "sha256:4818bc096802e7519eabc2c0bd6b214f0190d6e323be716aca7d8b0618a9322a"
+
+func TestGoldenSpecFixture(t *testing.T) {
+	b, err := os.ReadFile("testdata/daxpy.spec.wire.json")
+	if err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	var r Request
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatalf("golden fixture does not parse: %v", err)
+	}
+	if r.MachineSpec == nil {
+		t.Fatal("fixture carries no inline machine spec")
+	}
+	canon, err := r.Canonical()
+	if err != nil {
+		t.Fatalf("golden fixture does not canonicalize: %v", err)
+	}
+	if got := bytes.TrimRight(b, "\n"); !bytes.Equal(canon, got) {
+		t.Errorf("golden fixture is not in canonical form:\nfile: %s\ncanonical: %s", got, canon)
+	}
+	h, err := r.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenSpecHash {
+		t.Errorf("golden spec hash drifted: got %s, want %s (a deliberate format change must bump wire.Version)", h, goldenSpecHash)
+	}
+	if h == goldenHash {
+		t.Error("inline-spec request shares a content address with the registered-cydra request")
+	}
+	// The embedded target must build and the loop compile on it; one
+	// memory port doubles ResMII for daxpy (2 mem ops / 1 port ≥ 2).
+	_, l, err := r.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Mach.Name != "daxpy-box" || l.Mach.Count(machine.MemPort) != 1 {
+		t.Fatalf("decoded machine %s with %d mem ports, want daxpy-box with 1", l.Mach.Name, l.Mach.Count(machine.MemPort))
+	}
+	ii, _, _, _ := compile(t, l, "slack")
+	refII, _, _, _ := compile(t, fixture.Daxpy(machine.Cydra()), "slack")
+	if ii <= refII {
+		t.Errorf("halving memory ports did not raise daxpy's II (%d vs cydra's %d)", ii, refII)
+	}
+}
+
+// TestNewRequestEmbedsUnregisteredSpec: NewRequest embeds the spec
+// exactly when the loop's machine is not registered under its name —
+// registered targets travel by name alone.
+func TestNewRequestEmbedsUnregisteredSpec(t *testing.T) {
+	reg, err := NewRequest(fixture.Daxpy(machine.Cydra()), "slack", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.MachineSpec != nil {
+		t.Error("registered machine traveled with an inline spec")
+	}
+	spec := machine.FamilySpec("unregistered-box", machine.CydraLatencies())
+	custom, err := NewRequest(fixture.Daxpy(spec.MustBuild()), "slack", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.MachineSpec == nil {
+		t.Fatal("unregistered machine traveled without its spec")
+	}
+	if custom.Machine != "unregistered-box" || custom.MachineSpec.Name != custom.Machine {
+		t.Errorf("name mismatch: machine %q, spec %q", custom.Machine, custom.MachineSpec.Name)
+	}
+	if _, _, err := custom.Normalize(); err != nil {
+		t.Fatalf("inline-spec request does not normalize: %v", err)
+	}
+}
+
+// TestDecodeUnsupportedOp: a loop whose ops the target cannot execute
+// fails the decode boundary with the typed verdict servers map to 422.
+func TestDecodeUnsupportedOp(t *testing.T) {
+	m := machine.Cydra()
+	w, err := EncodeLoop(fixture.Daxpy(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMul := (&machine.Spec{
+		Name:  "no-mul",
+		Units: []machine.UnitSpec{{Name: "ALU", Count: 4}, {Name: "Mem", Count: 2}},
+		Profiles: []machine.ProfileSpec{
+			{Ops: []string{"load", "store"}, Unit: "Mem", Latency: 2},
+			{Ops: []string{"fadd", "aadd", "brtop"}, Unit: "ALU", Latency: 1},
+		},
+	}).MustBuild()
+	_, err = w.DecodeLoop(noMul)
+	var ue *machine.UnsupportedOpError
+	if !errors.As(err, &ue) {
+		t.Fatalf("decode error %v is not an UnsupportedOpError", err)
+	}
+	if ue.Machine != "no-mul" || ue.Op != machine.FMul {
+		t.Errorf("verdict %+v, want no-mul/fmul", ue)
 	}
 }
