@@ -10,6 +10,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -42,4 +44,29 @@ func BenchmarkCompile(b *testing.B) {
 // bypassed — the differential baseline for allocation accounting.
 func BenchmarkCompileNoPool(b *testing.B) {
 	benchCompile(b, sched.Config{NoPool: true})
+}
+
+// BenchmarkCompileInto measures the caller-owned-buffer entry point:
+// identical work to BenchmarkCompile, but one Compiled is recycled
+// across ops (core.CompileInto), so the result objects — sched.Result,
+// Schedule.Time, the MinDist clone — cost nothing after warm-up. What
+// remains per op is the pipeline's allocation floor.
+func BenchmarkCompileInto(b *testing.B) {
+	s := suite(b)
+	ctx := context.Background()
+	for _, name := range core.Schedulers() {
+		b.Run(string(name), func(b *testing.B) {
+			opt := core.Options{Scheduler: name, SkipCodegen: true}
+			loops := s.Loops
+			var c core.Compiled
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := core.CompileInto(ctx, &c, loops[i%len(loops)].CL.Loop, opt)
+				if err != nil && !errors.Is(err, sched.ErrInfeasible) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -31,7 +31,7 @@ type loadOptions struct {
 // loadResult is one request's observation.
 type loadResult struct {
 	status  int
-	cache   string // X-Lsmsd-Cache: hit, miss, dedup, or ""
+	cache   string // X-Lsmsd-Cache: hit, hit-disk, miss, dedup, or ""
 	latency time.Duration
 	err     error
 }
@@ -111,11 +111,15 @@ func shoot(client *http.Client, url string, body []byte) loadResult {
 	}
 }
 
-// reportLoad prints throughput, latency quantiles (overall and for the
-// cache-miss population, the one that actually scheduled), and the
-// status / cache-state breakdowns.
+// reportLoad prints throughput, latency quantiles (overall, for the
+// cache-miss population — the one that actually scheduled — and for
+// disk-tier hits), the status / cache-state breakdowns, and the
+// warm-vs-cold split. Against a restarted lsmsd with -store-dir, the
+// first replay pass shows up as hit-disk (warm: served from the
+// persistent tier without scheduling) and later passes as hit; a cold
+// server shows misses instead.
 func reportLoad(results []loadResult, wall time.Duration) error {
-	var lats, missLats []int // microseconds
+	var lats, missLats, diskLats []int // microseconds
 	statuses := map[int]int{}
 	caches := map[string]int{}
 	errs := 0
@@ -133,8 +137,11 @@ func reportLoad(results []loadResult, wall time.Duration) error {
 		if r.cache != "" {
 			caches[r.cache]++
 		}
-		if r.cache == "miss" {
+		switch r.cache {
+		case "miss":
 			missLats = append(missLats, int(r.latency.Microseconds()))
+		case "hit-disk":
+			diskLats = append(diskLats, int(r.latency.Microseconds()))
 		}
 	}
 	done := len(results) - errs
@@ -154,6 +161,7 @@ func reportLoad(results []loadResult, wall time.Duration) error {
 	}
 	printQuants("all", lats)
 	printQuants("cache-miss", missLats)
+	printQuants("hit-disk", diskLats)
 
 	codes := make([]int, 0, len(statuses))
 	for c := range statuses {
@@ -165,6 +173,14 @@ func reportLoad(results []loadResult, wall time.Duration) error {
 		parts = append(parts, fmt.Sprintf("%d×%d", c, statuses[c]))
 	}
 	fmt.Printf("status: %s\n", strings.Join(parts, "  "))
-	fmt.Printf("cache:  hit=%d miss=%d dedup=%d\n", caches["hit"], caches["miss"], caches["dedup"])
+	fmt.Printf("cache:  hit=%d hit-disk=%d miss=%d dedup=%d\n",
+		caches["hit"], caches["hit-disk"], caches["miss"], caches["dedup"])
+	if done > 0 {
+		warm := caches["hit"] + caches["hit-disk"] + caches["dedup"]
+		fmt.Printf("warm:   %.1f%% served without scheduling (%.1f%% from the persistent tier), %.1f%% cold\n",
+			100*float64(warm)/float64(done),
+			100*float64(caches["hit-disk"])/float64(done),
+			100*float64(caches["miss"])/float64(done))
+	}
 	return nil
 }

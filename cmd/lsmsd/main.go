@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lsmsd [-addr :8577] [-workers N] [-queue 64] [-cache 1024]
+//	      [-store-dir DIR] [-store-max-bytes N] [-warm-start corpus.json]
 //	      [-default-deadline 30s] [-max-deadline 2m] [-retry-after 1s]
 //	      [-debug-addr :8578] [-flight 64] [-log json|none]
 //	      [-machines spec.json,spec2.json]
@@ -13,6 +14,14 @@
 // -machines registers extra targets from declarative machine.Spec
 // documents at startup, alongside the built-in family; clients then
 // select them by name like any registered machine.
+//
+// -store-dir adds a persistent tier behind the in-memory result cache:
+// an append-only, checksummed log (README "Surviving restarts") that
+// answers repeat requests byte-identically across process restarts.
+// Corrupt records found on load are skipped and counted, never served.
+// -store-max-bytes bounds the log (0 = unbounded); -warm-start
+// precompiles a corpus through the normal worker pool at boot, so the
+// store is hot before the first real request arrives.
 //
 // Endpoints (see README "Running the service"):
 //
@@ -50,13 +59,17 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":8577", "listen address")
 	workers := flag.Int("workers", 0, "concurrent compile workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue depth beyond the workers (-1 = none)")
-	cache := flag.Int("cache", 1024, "result-cache entries (-1 disables caching)")
+	cache := flag.Int("cache", 1024, "in-memory result-store entries (-1 disables the memory tier)")
+	storeDir := flag.String("store-dir", "", "directory for the persistent result store (empty = memory only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "bound on the persistent store's log size (0 = unbounded)")
+	warmStart := flag.String("warm-start", "", "corpus file to precompile at boot (JSON; see cmd/lsmsd/warm.go)")
 	defDeadline := flag.Duration("default-deadline", 30*time.Second, "deadline applied to requests that carry none (-1ns = unbudgeted)")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on any requested deadline")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
@@ -87,16 +100,36 @@ func main() {
 		fatalf("unknown -log mode %q (supported: json, none)", *logMode)
 	}
 
-	srv := server.New(server.Config{
+	// Load and expand the warm-start corpus before serving, so a broken
+	// corpus file fails the boot instead of a background goroutine.
+	var warmReqs []*wire.Request
+	if *warmStart != "" {
+		var err error
+		warmReqs, err = loadWarmCorpus(*warmStart)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
+		StoreDir:        *storeDir,
+		StoreMaxBytes:   *storeMaxBytes,
 		DefaultDeadline: *defDeadline,
 		MaxDeadline:     *maxDeadline,
 		RetryAfter:      *retryAfter,
 		FlightEntries:   *flight,
 		Logger:          logger,
 	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if loaded, rejected, ok := srv.StoreLoadReport(); ok {
+		fmt.Printf("lsmsd: store %s: %d record(s) loaded, %d rejected by verification\n",
+			*storeDir, loaded, rejected)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -108,6 +141,17 @@ func main() {
 		fmt.Printf("lsmsd: listening on %s\n", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	if len(warmReqs) > 0 {
+		go func() {
+			t0 := time.Now()
+			stats, err := srv.WarmStart(context.Background(), warmReqs)
+			fmt.Printf("lsmsd: warm-start %s in %v\n", stats, time.Since(t0).Round(time.Millisecond))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lsmsd: warm-start: %v\n", err)
+			}
+		}()
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/wire"
+)
+
+// warmCorpus is the -warm-start document. Either section (or both) may
+// be present:
+//
+//	{
+//	  "generate": {"size": 48, "seed": 1993, "scheduler": "slack", "machine": "cydra"},
+//	  "requests": [ ...full wire.Request documents... ]
+//	}
+//
+// "generate" expands to the embedded kernel corpus plus synthetic loops
+// (loopgen.Build) — the same workload lsms-bench sweeps — encoded as
+// compile requests; "requests" carries literal wire documents for
+// custom warm sets.
+type warmCorpus struct {
+	Generate *warmGenerate   `json:"generate,omitempty"`
+	Requests []*wire.Request `json:"requests,omitempty"`
+}
+
+type warmGenerate struct {
+	Size      int    `json:"size"`
+	Seed      int64  `json:"seed"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Machine   string `json:"machine,omitempty"`
+}
+
+// loadWarmCorpus reads and expands a -warm-start file into the request
+// list WarmStart consumes.
+func loadWarmCorpus(path string) ([]*wire.Request, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("warm-start: %w", err)
+	}
+	var doc warmCorpus
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("warm-start: parsing %s: %w", path, err)
+	}
+	if doc.Generate == nil && len(doc.Requests) == 0 {
+		return nil, fmt.Errorf("warm-start: %s has neither \"generate\" nor \"requests\"", path)
+	}
+	var reqs []*wire.Request
+	if g := doc.Generate; g != nil {
+		mach := machine.Cydra()
+		if g.Machine != "" {
+			m, ok := machine.Lookup(g.Machine)
+			if !ok {
+				return nil, fmt.Errorf("warm-start: unknown machine %q", g.Machine)
+			}
+			mach = m
+		}
+		suite, err := loopgen.Build(loopgen.Options{Size: g.Size, Seed: g.Seed, Mach: mach})
+		if err != nil {
+			return nil, fmt.Errorf("warm-start: building corpus: %w", err)
+		}
+		for _, l := range suite.Loops {
+			req, err := wire.NewRequest(l.CL.Loop, g.Scheduler, wire.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("warm-start: encoding %s: %w", l.Name, err)
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	reqs = append(reqs, doc.Requests...)
+	return reqs, nil
+}

@@ -10,7 +10,9 @@ package bench
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -63,7 +65,11 @@ type HistoryRecord struct {
 // policy on the sized workload: a testing.Benchmark whose op is one
 // core.Compile (scheduling + pressure, no codegen — the lsmsd serving
 // shape), round-robin over the corpus, plus one untimed sweep that
-// aggregates the effort counters.
+// aggregates the effort counters. Each policy yields two records:
+// "compile/<policy>" (a fresh Compiled per op, the legacy entry point)
+// and "compileinto/<policy>" (one Compiled recycled across ops via
+// core.CompileInto — the allocation floor). The sweep counters are
+// shared: both entry points perform identical scheduling work.
 // A nil mach measures on the paper machine.
 func CompileBench(size int, seed int64, cfg sched.Config, mach *machine.Desc) ([]BenchRecord, error) {
 	w, err := loopgen.Build(loopgen.Options{Size: size, Seed: seed, Mach: mach})
@@ -71,6 +77,7 @@ func CompileBench(size int, seed int64, cfg sched.Config, mach *machine.Desc) ([
 		return nil, err
 	}
 	loops := w.Loops
+	ctx := context.Background()
 	var out []BenchRecord
 	for _, name := range core.Schedulers() {
 		opt := core.Options{Scheduler: name, Config: cfg, SkipCodegen: true}
@@ -79,6 +86,20 @@ func CompileBench(size int, seed int64, cfg sched.Config, mach *machine.Desc) ([
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Compile(loops[i%len(loops)].CL.Loop, opt); err != nil {
+					benchErr = fmt.Errorf("%s/%s: %w", name, loops[i%len(loops)].Name, err)
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		rInto := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var c core.Compiled
+			for i := 0; i < b.N; i++ {
+				err := core.CompileInto(ctx, &c, loops[i%len(loops)].CL.Loop, opt)
+				if err != nil && !errors.Is(err, sched.ErrInfeasible) {
 					benchErr = fmt.Errorf("%s/%s: %w", name, loops[i%len(loops)].Name, err)
 					b.FailNow()
 				}
@@ -106,7 +127,12 @@ func CompileBench(size int, seed int64, cfg sched.Config, mach *machine.Desc) ([
 			rec.Ejections += st.Ejections
 			rec.Restarts += st.Restarts
 		}
-		out = append(out, rec)
+		recInto := rec
+		recInto.Name = "compileinto/" + string(name)
+		recInto.NsPerOp = float64(rInto.NsPerOp())
+		recInto.BytesPerOp = float64(rInto.AllocedBytesPerOp())
+		recInto.AllocsPerOp = float64(rInto.AllocsPerOp())
+		out = append(out, rec, recInto)
 	}
 	return out, nil
 }

@@ -106,12 +106,46 @@ func Compile(l *ir.Loop, opt Options) (*Compiled, error) {
 // ErrInfeasible or ErrBudgetExhausted, the returned *Compiled is still
 // non-nil and carries the partial sched.Result as evidence.
 func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, error) {
+	c := &Compiled{}
+	err := CompileInto(ctx, c, l, opt)
+	if c.Loop == nil {
+		// CompileInto zeroed the destination: nothing was produced
+		// (unknown scheduler, preflight failure, or a hard
+		// mindist/codegen error) — the legacy nil-Compiled contract.
+		return nil, err
+	}
+	return c, err
+}
+
+// CompileInto is CompileContext writing into a caller-owned Compiled:
+// dst's previous contents are destroyed, but the result buffers they
+// carry — dst.Result itself, its Schedule.Time slice, its MinDist
+// backing array — are recycled, so a caller that reuses one Compiled
+// across compilations (the lsmsd worker loop, the bench sweep) reaches
+// the pipeline's allocation floor: zero result-object allocations per
+// compile in steady state. The caller must not retain references into
+// dst across calls.
+//
+// The outcome contract mirrors CompileContext exactly: on unknown
+// scheduler, preflight failure, or a hard mindist/codegen error dst is
+// zeroed (dst.Loop == nil) and the error returned; on scheduling
+// failure dst carries the partial evidence alongside the typed error;
+// on success (or a rescued Degrade) err is nil and dst is complete.
+func CompileInto(ctx context.Context, dst *Compiled, l *ir.Loop, opt Options) error {
+	// Recycle the result buffers the previous compilation left behind;
+	// everything else resets.
+	res := dst.Result
+	if res == nil {
+		res = &sched.Result{}
+	}
+	*dst = Compiled{}
+
 	if opt.Scheduler == "" {
 		opt.Scheduler = SchedSlack
 	}
 	factory, ok := Lookup(opt.Scheduler)
 	if !ok {
-		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheduler, opt.Scheduler, Schedulers())
+		return fmt.Errorf("%w: %q (registered: %v)", ErrUnknownScheduler, opt.Scheduler, Schedulers())
 	}
 	// One pooled arena per compilation: the scheduler, a possible
 	// degrade fallback, and the pressure measurements share its scratch.
@@ -133,34 +167,56 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 		tr.Scheduler = string(opt.Scheduler)
 	}
 	sp := tr.Start("schedule").Str("scheduler", string(opt.Scheduler))
-	res, err := factory(opt.Config).Schedule(ctx, l)
+	runner := factory(opt.Config)
+	var err error
+	if into, ok := runner.(IntoRunner); ok {
+		err = into.ScheduleInto(ctx, l, res)
+		if res.Loop == nil {
+			res = nil // preflight failure: the zeroed buffer carries nothing
+		}
+	} else {
+		// Runners without the Into extension pay the allocations they
+		// always did; copy so dst still owns its result.
+		var r *sched.Result
+		r, err = runner.Schedule(ctx, l)
+		if r != nil {
+			*res = *r
+		} else {
+			res = nil
+		}
+	}
 	if res != nil {
 		sp.Int("ii", int64(res.II())).Int("mii", int64(res.Bounds.MII))
 	}
 	sp.End(scheduleOutcome(err))
-	var c *Compiled
 	if res != nil {
-		c = &Compiled{Loop: l, Result: res, GPRs: l.GPRCount()}
+		*dst = Compiled{Loop: l, Result: res, GPRs: l.GPRCount()}
 	}
 	if err != nil {
 		var be *sched.BudgetError
 		if errors.As(err, &be) && opt.Degrade && opt.Scheduler != SchedList && ctx.Err() == nil {
-			res, err = degrade(ctx, l, opt, be)
-			if err != nil {
-				return c, err
+			dres, derr := degrade(ctx, l, opt, be)
+			if derr != nil {
+				// dst keeps the budget-exhausted partial as evidence.
+				return derr
 			}
-			c = &Compiled{Loop: l, Result: res, GPRs: l.GPRCount(), Degraded: true, BudgetErr: be}
+			if res == nil {
+				res = dres
+			} else {
+				*res = *dres
+			}
+			*dst = Compiled{Loop: l, Result: res, GPRs: l.GPRCount(), Degraded: true, BudgetErr: be}
 		} else {
-			return c, err
+			return err
 		}
 	}
-	if !res.OK() {
-		return c, nil
+	if res == nil || !res.OK() {
+		return nil
 	}
 	s := res.Schedule
 	spp := tr.Start("pressure").Int("ii", int64(s.II))
-	c.RR = lifetime.MeasureIn(l, s, ir.RR, arena.Lifetime())
-	c.ICR = lifetime.ICRUsageIn(l, s, arena.Lifetime())
+	dst.RR = lifetime.MeasureIn(l, s, ir.RR, arena.Lifetime())
+	dst.ICR = lifetime.ICRUsageIn(l, s, arena.Lifetime())
 	// Every scheduler plumbs the table at its final II through
 	// res.MinDist, so on success the recompute below never triggers; it
 	// remains as a defensive fallback for external Result producers.
@@ -168,22 +224,24 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Compiled, er
 	if md == nil || md.II != s.II {
 		md, err = mindist.Compute(l, s.II)
 		if err != nil {
-			return nil, fmt.Errorf("core: recomputing MinDist: %w", err)
+			*dst = Compiled{}
+			return fmt.Errorf("core: recomputing MinDist: %w", err)
 		}
 	}
-	c.MinAvg = mindist.MinAvg(l, md, ir.RR)
-	spp.Int("maxlive", int64(c.RR.MaxLive)).Int("minavg", int64(c.MinAvg)).End(obs.OutcomeOK)
+	dst.MinAvg = mindist.MinAvg(l, md, ir.RR)
+	spp.Int("maxlive", int64(dst.RR.MaxLive)).Int("minavg", int64(dst.MinAvg)).End(obs.OutcomeOK)
 	if !opt.SkipCodegen {
 		spc := tr.Start("codegen").Int("ii", int64(s.II))
 		k, err := codegen.GenerateContext(ctx, l, s)
 		if err != nil {
 			spc.End(obs.OutcomeError)
-			return nil, err
+			*dst = Compiled{}
+			return err
 		}
 		spc.Int("nrr", int64(k.NRR)).Int("nicr", int64(k.NICR)).End(obs.OutcomeOK)
-		c.Kernel = k
+		dst.Kernel = k
 	}
-	return c, nil
+	return nil
 }
 
 // scheduleOutcome classifies a scheduling error for the "schedule" span:

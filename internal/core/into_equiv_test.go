@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/loopgen"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// TestCompileIntoEquivalence is the correctness bar of the
+// caller-owned-buffer entry point: over the full generator corpus and
+// every registered policy, CompileInto writing into ONE Compiled that
+// is recycled across all loops (so its Result, Schedule.Time, and
+// MinDist buffers arrive dirty and wrongly-sized at every call) must
+// produce results bit-identical to a fresh CompileContext, and must
+// classify errors identically.
+func TestCompileIntoEquivalence(t *testing.T) {
+	size := 120
+	if testing.Short() {
+		size = 36
+	}
+	w, err := loopgen.Build(loopgen.Options{Size: size, Seed: 424})
+	if err != nil {
+		t.Fatalf("building workload: %v", err)
+	}
+	ctx := context.Background()
+	for _, name := range Schedulers() {
+		opt := Options{Scheduler: name, SkipCodegen: true}
+		var buf Compiled // one buffer for the whole corpus — sizes vary per loop
+		for _, wl := range w.Loops {
+			fresh, ferr := CompileContext(ctx, wl.CL.Loop, opt)
+			ierr := CompileInto(ctx, &buf, wl.CL.Loop, opt)
+			if c1, c2 := errClass(ferr), errClass(ierr); c1 != c2 {
+				t.Fatalf("%s/%s: error class diverges: CompileContext %q (%v), CompileInto %q (%v)",
+					name, wl.Name, c1, ferr, c2, ierr)
+			}
+			if fresh == nil {
+				if buf.Loop != nil {
+					t.Fatalf("%s/%s: CompileContext produced nothing but CompileInto left dst populated",
+						name, wl.Name)
+				}
+				continue
+			}
+			if buf.Loop == nil {
+				t.Fatalf("%s/%s: CompileContext produced a result but CompileInto zeroed dst", name, wl.Name)
+			}
+			fh := compiledHash(t, name, wl.Name, fresh)
+			ih := compiledHash(t, name, wl.Name, &buf)
+			if fh != ih {
+				t.Errorf("%s/%s: reused-buffer result diverges from fresh result: %s vs %s",
+					name, wl.Name, ih, fh)
+			}
+		}
+	}
+}
+
+// TestCompileIntoUnknownScheduler pins the zero-dst contract: a lookup
+// failure must both return ErrUnknownScheduler and scrub whatever the
+// previous compilation left in the buffer, so stale results cannot be
+// mistaken for output.
+func TestCompileIntoUnknownScheduler(t *testing.T) {
+	w, err := loopgen.Build(loopgen.Options{Size: 4, Seed: 7})
+	if err != nil {
+		t.Fatalf("building workload: %v", err)
+	}
+	ctx := context.Background()
+	var buf Compiled
+	if err := CompileInto(ctx, &buf, w.Loops[0].CL.Loop, Options{SkipCodegen: true}); err != nil {
+		t.Fatalf("priming compile: %v", err)
+	}
+	if buf.Loop == nil {
+		t.Fatal("priming compile left dst empty")
+	}
+	err = CompileInto(ctx, &buf, w.Loops[0].CL.Loop, Options{Scheduler: "no-such-policy"})
+	if !errors.Is(err, ErrUnknownScheduler) {
+		t.Fatalf("want ErrUnknownScheduler, got %v", err)
+	}
+	if buf.Loop != nil || buf.Result != nil || buf.Kernel != nil {
+		t.Fatalf("dst not zeroed after unknown scheduler: %+v", buf)
+	}
+}
+
+// errClass buckets an error for cross-entry-point comparison without
+// depending on message details (which carry timing-bearing stats).
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "nil"
+	case errors.Is(err, sched.ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, sched.ErrBudgetExhausted):
+		return "budget"
+	case errors.Is(err, ErrUnknownScheduler):
+		return "unknown-scheduler"
+	default:
+		return "other"
+	}
+}
+
+// compiledHash hashes the serialized wire form of every deterministic
+// output a server response carries (the same projection as
+// compileResultHash, but over an already-built Compiled).
+func compiledHash(t *testing.T, name SchedulerName, loopName string, c *Compiled) string {
+	t.Helper()
+	b := c.Result.Bounds
+	resp := wire.Response{
+		Loop:      loopName,
+		Scheduler: string(name),
+		OK:        c.OK(),
+		Bounds:    wire.Bounds{ResMII: b.ResMII, RecMII: b.RecMII, MII: b.MII},
+		Effort:    wire.EffortOf(c.Result.Stats),
+	}
+	if c.OK() {
+		s := c.Result.Schedule
+		resp.II = s.II
+		resp.Length = s.Length()
+		resp.Stages = s.Stages()
+		resp.Times = s.Time
+		resp.MaxLive = c.RR.MaxLive
+		resp.MinAvg = c.MinAvg
+		resp.ICR = c.ICR
+		resp.GPRs = c.GPRs
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, loopName, err)
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(body))
+}

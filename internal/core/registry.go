@@ -42,6 +42,39 @@ func (f RunnerFunc) Schedule(ctx context.Context, l *ir.Loop) (*sched.Result, er
 	return f(ctx, l)
 }
 
+// IntoRunner is the optional buffer-reusing extension of Runner: a
+// runner that can write its result into a caller-owned sched.Result
+// (see sched.Scheduler.ScheduleInto for the contract). CompileInto
+// type-asserts for it; runners without it still work through Schedule,
+// at the cost of the per-compile result allocations. All built-in
+// policies implement it.
+type IntoRunner interface {
+	ScheduleInto(ctx context.Context, l *ir.Loop, dst *sched.Result) error
+}
+
+// schedulerRunner adapts *sched.Scheduler to Runner and IntoRunner —
+// the registration shape of the backtracking built-ins.
+type schedulerRunner struct{ s *sched.Scheduler }
+
+func (r schedulerRunner) Schedule(ctx context.Context, l *ir.Loop) (*sched.Result, error) {
+	return r.s.ScheduleContext(ctx, l)
+}
+
+func (r schedulerRunner) ScheduleInto(ctx context.Context, l *ir.Loop, dst *sched.Result) error {
+	return r.s.ScheduleInto(ctx, l, dst)
+}
+
+// listRunner adapts the function-shaped list scheduler the same way.
+type listRunner struct{ cfg sched.Config }
+
+func (r listRunner) Schedule(ctx context.Context, l *ir.Loop) (*sched.Result, error) {
+	return sched.ListScheduleContext(ctx, l, r.cfg)
+}
+
+func (r listRunner) ScheduleInto(ctx context.Context, l *ir.Loop, dst *sched.Result) error {
+	return sched.ListScheduleInto(ctx, l, r.cfg, dst)
+}
+
 // Factory builds a ready-to-run scheduler for one configuration.
 type Factory func(cfg sched.Config) Runner
 
@@ -94,17 +127,15 @@ func Schedulers() []SchedulerName {
 
 func init() {
 	Register(SchedSlack, func(cfg sched.Config) Runner {
-		return RunnerFunc(sched.Slack(cfg).ScheduleContext)
+		return schedulerRunner{sched.Slack(cfg)}
 	})
 	Register(SchedSlackUni, func(cfg sched.Config) Runner {
-		return RunnerFunc(sched.SlackUnidirectional(cfg).ScheduleContext)
+		return schedulerRunner{sched.SlackUnidirectional(cfg)}
 	})
 	Register(SchedCydrome, func(cfg sched.Config) Runner {
-		return RunnerFunc(sched.Cydrome(cfg).ScheduleContext)
+		return schedulerRunner{sched.Cydrome(cfg)}
 	})
 	Register(SchedList, func(cfg sched.Config) Runner {
-		return RunnerFunc(func(ctx context.Context, l *ir.Loop) (*sched.Result, error) {
-			return sched.ListScheduleContext(ctx, l, cfg)
-		})
+		return listRunner{cfg}
 	})
 }

@@ -142,6 +142,26 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// CloneInto is Clone writing into a caller-owned table, reusing dst's
+// backing storage when it is large enough — the alloc-free path of
+// sched.Scheduler.ScheduleInto. It returns the populated table: dst,
+// or a fresh table when dst is nil or t itself. dst's previous
+// contents are destroyed.
+func (t *Table) CloneInto(dst *Table) *Table {
+	if dst == nil || dst == t {
+		return t.Clone()
+	}
+	d := dst.d
+	if cap(d) < len(t.d) {
+		d = make([]int, len(t.d))
+	} else {
+		d = d[:len(t.d)]
+	}
+	copy(d, t.d)
+	*dst = Table{II: t.II, n: t.n, width: t.width, d: d}
+	return dst
+}
+
 // N returns the number of real operations.
 func (t *Table) N() int { return t.n }
 

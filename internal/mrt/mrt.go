@@ -233,6 +233,23 @@ func (t *Table) Schedule() *ir.Schedule {
 	return s
 }
 
+// ScheduleInto extracts the current placements into dst, reusing its
+// Time slice when it is large enough; a nil dst allocates (equivalent
+// to Schedule). Returns the populated schedule.
+func (t *Table) ScheduleInto(dst *ir.Schedule) *ir.Schedule {
+	if dst == nil {
+		return t.Schedule()
+	}
+	dst.II = t.ii
+	if cap(dst.Time) < len(t.at) {
+		dst.Time = make([]int, len(t.at))
+	} else {
+		dst.Time = dst.Time[:len(t.at)]
+	}
+	copy(dst.Time, t.at)
+	return dst
+}
+
 func mod(a, m int) int {
 	r := a % m
 	if r < 0 {

@@ -169,16 +169,38 @@ func (s *Scheduler) Schedule(l *ir.Loop) (*Result, error) {
 //   - a *BudgetError (errors.Is ErrBudgetExhausted; also the context
 //     error when canceled) when the budget or context ran out.
 func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, error) {
+	res := &Result{}
+	err := s.ScheduleInto(ctx, l, res)
+	if res.Loop == nil {
+		// Preflight failed before the result was populated — the legacy
+		// nil-Result contract.
+		return nil, err
+	}
+	return res, err
+}
+
+// ScheduleInto is ScheduleContext writing into a caller-owned Result:
+// dst's previous contents are destroyed, but its Schedule.Time slice
+// and MinDist backing array are reused when large enough, so a caller
+// recycling one Result across compilations allocates nothing here in
+// steady state (core.CompileInto's contract). On preflight failure
+// (unfinalized loop, MII computation error) dst is zeroed and the
+// error returned; otherwise dst carries exactly what ScheduleContext's
+// Result would, with the same typed errors.
+func (s *Scheduler) ScheduleInto(ctx context.Context, l *ir.Loop, dst *Result) error {
+	prevSched, prevMD := dst.Schedule, dst.MinDist
+	*dst = Result{}
 	if !l.Finalized() {
-		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
+		return fmt.Errorf("sched: loop %s not finalized", l.Name)
 	}
 	started := time.Now()
 	tr := obs.FromContext(ctx)
 	bounds, err := mii.ComputeContext(ctx, l)
 	if err != nil {
-		return nil, fmt.Errorf("sched: loop %s: %w", l.Name, err)
+		return fmt.Errorf("sched: loop %s: %w", l.Name, err)
 	}
-	res := &Result{Loop: l, Policy: s.policy.Name(), Bounds: bounds}
+	res := dst
+	*res = Result{Loop: l, Policy: s.policy.Name(), Bounds: bounds}
 
 	ii := bounds.MII
 	if s.cfg.StartII > ii {
@@ -207,7 +229,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 	// exit (LIFO: this defer runs before the arena release above).
 	defer func() {
 		if !s.cfg.NoFastPaths && res.MinDist != nil {
-			res.MinDist = res.MinDist.Clone()
+			res.MinDist = res.MinDist.CloneInto(prevMD)
 		}
 	}()
 
@@ -222,7 +244,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 	for ii <= maxII {
 		if reason := guard.attemptExceeded(&res.Stats, res.Stats.IIAttempts); reason != "" {
 			res.Stats.Elapsed = time.Since(started)
-			return res, s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
+			return s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
 		}
 		res.Stats.IIAttempts++
 		mdStart := time.Now()
@@ -243,7 +265,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 					reason = ReasonDeadline
 				}
 				res.Stats.Elapsed = time.Since(started)
-				return res, s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
+				return s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
 			}
 			// II below RecMII (possible only with StartII misuse): step up.
 			res.FailedII = ii
@@ -280,12 +302,12 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		if reason != "" {
 			res.FailedII = ii
 			res.Stats.Elapsed = time.Since(started)
-			return res, s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
+			return s.budgetError(ctx, l, reason, bounds, ii, res.Stats)
 		}
 		if ok {
-			res.Schedule = st.mrt.Schedule()
+			res.Schedule = st.mrt.ScheduleInto(prevSched)
 			res.Stats.Elapsed = time.Since(started)
-			return res, nil
+			return nil
 		}
 		res.Stats.Restarts++
 		res.FailedII = ii
@@ -298,7 +320,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, l *ir.Loop) (*Result, e
 		ii = s.nextII(ii)
 	}
 	res.Stats.Elapsed = time.Since(started)
-	return res, &InfeasibleError{
+	return &InfeasibleError{
 		Loop:   l.Name,
 		Policy: s.policy.Name(),
 		MII:    bounds.MII,

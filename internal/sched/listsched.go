@@ -42,17 +42,34 @@ func ListSchedule(l *ir.Loop, cfg Config) (*Result, error) {
 // which is why it shares the context, Budget, typed-error, and Observer
 // contracts of Scheduler.ScheduleContext.
 func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, error) {
+	res := &Result{}
+	err := ListScheduleInto(ctx, l, cfg, res)
+	if res.Loop == nil {
+		return nil, err
+	}
+	return res, err
+}
+
+// ListScheduleInto is ListScheduleContext writing into a caller-owned
+// Result, with the same buffer-reuse contract as
+// Scheduler.ScheduleInto: dst's previous contents are destroyed, its
+// Schedule and MinDist backing storage are recycled, and on preflight
+// failure dst is zeroed.
+func ListScheduleInto(ctx context.Context, l *ir.Loop, cfg Config, dst *Result) error {
+	prevSched, prevMD := dst.Schedule, dst.MinDist
+	*dst = Result{}
 	if !l.Finalized() {
-		return nil, fmt.Errorf("sched: loop %s not finalized", l.Name)
+		return fmt.Errorf("sched: loop %s not finalized", l.Name)
 	}
 	cfg = cfg.withDefaults()
 	started := time.Now()
 	tr := obs.FromContext(ctx)
 	bounds, err := mii.ComputeContext(ctx, l)
 	if err != nil {
-		return nil, fmt.Errorf("sched: loop %s: %w", l.Name, err)
+		return fmt.Errorf("sched: loop %s: %w", l.Name, err)
 	}
-	res := &Result{Loop: l, Policy: "list", Bounds: bounds}
+	res := dst
+	*res = Result{Loop: l, Policy: "list", Bounds: bounds}
 
 	maxII := cfg.MaxII
 	if maxII == 0 {
@@ -62,7 +79,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 
 	guard := newBudgetGuard(ctx, cfg.Budget)
 	sink := cfg.EventSink()
-	budgetStop := func(reason string, ii int) (*Result, error) {
+	budgetStop := func(reason string, ii int) error {
 		res.Stats.Elapsed = time.Since(started)
 		e := &BudgetError{
 			Loop: l.Name, Policy: "list", Reason: reason,
@@ -71,7 +88,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 		if reason == ReasonCanceled {
 			e.Cause = ctx.Err()
 		}
-		return res, e
+		return e
 	}
 
 	// Pooled scratch: the fallback shares the caller's arena when one is
@@ -84,7 +101,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 	}
 	defer func() {
 		if !cfg.NoFastPaths && res.MinDist != nil {
-			res.MinDist = res.MinDist.Clone()
+			res.MinDist = res.MinDist.CloneInto(prevMD)
 		}
 	}()
 
@@ -223,9 +240,9 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 			return budgetStop(stopReason, ii)
 		}
 		if ok {
-			res.Schedule = table.Schedule()
+			res.Schedule = table.ScheduleInto(prevSched)
 			res.Stats.Elapsed = time.Since(started)
-			return res, nil
+			return nil
 		}
 		res.FailedII = ii
 		if sink != nil {
@@ -235,7 +252,7 @@ func ListScheduleContext(ctx context.Context, l *ir.Loop, cfg Config) (*Result, 
 		}
 	}
 	res.Stats.Elapsed = time.Since(started)
-	return res, &InfeasibleError{
+	return &InfeasibleError{
 		Loop:   l.Name,
 		Policy: "list",
 		MII:    bounds.MII,

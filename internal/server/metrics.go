@@ -25,6 +25,8 @@ type metrics struct {
 	requests        *obs.Family
 	cacheHitsC      *obs.Family
 	cacheMissesC    *obs.Family
+	storeHitsC      *obs.Family
+	storeMissesC    *obs.Family
 	deduped         *obs.Family
 	rejected        *obs.Family
 	panics          *obs.Family
@@ -53,8 +55,10 @@ func newMetrics(s *Server) *metrics {
 	r := obs.NewRegistry()
 	m := &metrics{reg: r}
 	m.requests = r.Counter("lsmsd_requests_total", "Compile requests received.")
-	m.cacheHitsC = r.Counter("lsmsd_cache_hits_total", "Requests answered from the result cache.")
-	m.cacheMissesC = r.Counter("lsmsd_cache_misses_total", "Requests that missed the result cache.")
+	m.cacheHitsC = r.Counter("lsmsd_cache_hits_total", "Requests answered from the in-memory store tier.")
+	m.cacheMissesC = r.Counter("lsmsd_cache_misses_total", "Requests that missed every result-store tier.")
+	m.storeHitsC = r.Counter("lsmsd_store_hits_total", "Requests answered from a persistent store tier (served byte-identically across restarts).")
+	m.storeMissesC = r.Counter("lsmsd_store_misses_total", "Requests that missed every result-store tier (alias of lsmsd_cache_misses_total, under the store naming).")
 	m.deduped = r.Counter("lsmsd_dedup_total", "Requests collapsed onto an identical in-flight compile.")
 	m.rejected = r.Counter("lsmsd_rejected_total", "Requests rejected 429 by admission control.")
 	m.panics = r.Counter("lsmsd_panics_total", "Per-request panics isolated by the compile barrier.")
@@ -84,8 +88,14 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.adm.running()) })
 	r.GaugeFunc("lsmsd_waiting", "Admitted requests queued for a worker.",
 		func() float64 { return float64(s.adm.waiting()) })
-	r.GaugeFunc("lsmsd_cache_entries", "Responses held by the result cache.",
-		func() float64 { return float64(s.cache.len()) })
+	r.GaugeFunc("lsmsd_cache_entries", "Records held by the result store, summed over tiers.",
+		func() float64 { return float64(s.store.Len()) })
+	if s.disk != nil {
+		r.GaugeFunc("lsmsd_store_records", "Records held by the persistent disk tier.",
+			func() float64 { return float64(s.disk.Len()) })
+		r.CounterFunc("lsmsd_store_rejects_total", "Store records rejected by checksum or framing verification (on load or on read); rejected records are never served.",
+			func() float64 { return float64(s.disk.Stats().Rejects) })
+	}
 	r.GaugeFunc("lsmsd_cache_hit_ratio", "Cache hits over cache lookups since boot (0 before any lookup).",
 		func() float64 {
 			if n := m.lookups.Load(); n > 0 {
@@ -104,16 +114,24 @@ func newMetrics(s *Server) *metrics {
 	return m
 }
 
-// cacheHit / cacheMiss keep the hit-ratio mirrors in step with the
-// counter families.
+// cacheHit / storeHit / storeMiss keep the hit-ratio mirrors in step
+// with the counter families. A hit from any tier counts toward the
+// ratio; the families split by depth (memory vs persistent).
 func (m *metrics) cacheHit() {
 	m.cacheHitsC.Inc()
 	m.hits.Add(1)
 	m.lookups.Add(1)
 }
 
-func (m *metrics) cacheMiss() {
+func (m *metrics) storeHit() {
+	m.storeHitsC.Inc()
+	m.hits.Add(1)
+	m.lookups.Add(1)
+}
+
+func (m *metrics) storeMiss() {
 	m.cacheMissesC.Inc()
+	m.storeMissesC.Inc()
 	m.lookups.Add(1)
 }
 

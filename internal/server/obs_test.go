@@ -162,9 +162,15 @@ func TestDebugPprof(t *testing.T) {
 func TestRequestIDAndLogging(t *testing.T) {
 	var logBuf bytes.Buffer
 	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
-	s := New(Config{Workers: 2, Logger: logger})
+	s, err := New(Config{Workers: 2, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 
 	body := requestBody(t, fixture.Daxpy(machine.Cydra()), "slack", wire.Options{})
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile", bytes.NewReader(body))

@@ -10,16 +10,18 @@
 //	GET  /metrics       — Prometheus-style counters, including the
 //	                      folded scheduler event stream
 //
-// Request handling is three-tiered: a content-addressed LRU cache of
-// serialized responses (keyed by the canonical wire hash) answers
-// repeats without scheduling at all; a singleflight group collapses
-// concurrent identical requests into one compilation whose response
-// bytes every waiter shares; everything else passes admission control —
-// a non-blocking queue semaphore that rejects overload with 429 +
-// Retry-After, then a worker semaphore that bounds concurrent
-// compiles. Per-request deadlines map onto sched.Budget, panics are
-// isolated per request (mirroring bench.LoopPanicError), and Shutdown
-// drains in-flight compiles before returning.
+// Request handling is tiered: a content-addressed result store (keyed
+// by the canonical wire hash; a per-node LRU in front of an optional
+// crash-safe disk log, see package store) answers repeats without
+// scheduling at all — across process restarts when the disk tier is
+// configured; a singleflight group collapses concurrent identical
+// requests into one compilation whose response bytes every waiter
+// shares; everything else passes admission control — a non-blocking
+// queue semaphore that rejects overload with 429 + Retry-After, then a
+// worker semaphore that bounds concurrent compiles. Per-request
+// deadlines map onto sched.Budget, panics are isolated per request
+// (mirroring bench.LoopPanicError), and Shutdown drains in-flight
+// compiles before returning, then closes the store.
 //
 // Error mapping (also in README "Running the service"):
 //
@@ -54,6 +56,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -63,9 +66,20 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds admitted-but-waiting requests; default 64.
 	QueueDepth int
-	// CacheEntries bounds the result cache; default 1024, negative
-	// disables caching.
+	// CacheEntries bounds the in-memory tier of the result store;
+	// default 1024, negative disables the memory tier.
 	CacheEntries int
+	// StoreDir, when non-empty, adds a persistent disk tier behind the
+	// memory tier: an append-only checksummed log (see store.Disk) that
+	// answers repeats byte-identically across process restarts.
+	StoreDir string
+	// StoreMaxBytes bounds the disk tier's log size (compaction plus
+	// oldest-first eviction); 0 means unbounded.
+	StoreMaxBytes int64
+	// Store, when non-nil, replaces the tiers the fields above would
+	// build — the injection point for custom tier stacks. The server
+	// owns it from New on and closes it during Shutdown.
+	Store store.Tier
 	// DefaultDeadline applies when a request carries no deadline_ms;
 	// default 30s, negative means unbudgeted.
 	DefaultDeadline time.Duration
@@ -115,33 +129,63 @@ func (c Config) withDefaults() Config {
 // Server is the compilation service. Create with New, mount Handler,
 // and call Shutdown to drain.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	adm     *admission
-	cache   *resultCache
-	flights *flightGroup
-	sm      *sched.SafeMetrics
-	flight  *obs.FlightRecorder
-	m       *metrics
-	logger  *slog.Logger
-	started time.Time
-	gate    *drainGate
-	reqSeq  atomic.Uint64
+	cfg       Config
+	mux       *http.ServeMux
+	adm       *admission
+	store     *store.Tiered
+	disk      *store.Disk // the persistent tier, nil when not configured
+	flights   *flightGroup
+	sm        *sched.SafeMetrics
+	flight    *obs.FlightRecorder
+	m         *metrics
+	logger    *slog.Logger
+	started   time.Time
+	gate      *drainGate
+	reqSeq    atomic.Uint64
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. The only error source is the
+// persistent store tier (Config.StoreDir): an unopenable or unwritable
+// store directory fails construction rather than silently serving
+// without persistence.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		sm:      &sched.SafeMetrics{},
 		flight:  obs.NewFlightRecorder(cfg.FlightEntries),
 		logger:  cfg.Logger,
 		started: time.Now(),
 		gate:    newDrainGate(),
+	}
+	if cfg.Store != nil {
+		if tiered, ok := cfg.Store.(*store.Tiered); ok {
+			s.store = tiered
+		} else {
+			s.store = store.NewTiered(cfg.Store)
+		}
+		for _, tier := range s.store.Tiers() {
+			if d, ok := tier.(*store.Disk); ok {
+				s.disk = d
+				break
+			}
+		}
+	} else {
+		mem := store.NewMemory(cfg.CacheEntries)
+		if cfg.StoreDir != "" {
+			d, err := store.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+			if err != nil {
+				return nil, err
+			}
+			s.disk = d
+			s.store = store.NewTiered(mem, d)
+		} else {
+			s.store = store.NewTiered(mem)
+		}
 	}
 	s.m = newMetrics(s)
 	s.mux = http.NewServeMux()
@@ -150,30 +194,61 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown stops admitting new compiles (they get 503) and waits for
-// in-flight ones to drain, or for ctx to expire.
+// Shutdown stops admitting new compiles (they get 503), waits for
+// in-flight ones to drain or for ctx to expire, then closes the result
+// store (syncing the disk tier). The store is closed even when the
+// drain is interrupted: a record the disk tier has already absorbed
+// survives the restart either way.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.gate.beginDrain()
 	select {
 	case <-s.gate.idle:
-		return nil
+		return s.Close()
 	case <-ctx.Done():
-		return fmt.Errorf("server: drain interrupted with %d request(s) in flight: %w",
+		err := fmt.Errorf("server: drain interrupted with %d request(s) in flight: %w",
 			s.gate.inFlight(), ctx.Err())
+		if cerr := s.Close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
+		return err
 	}
+}
+
+// Close releases the result store without draining — Shutdown's last
+// step, and the test-friendly teardown. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.store.Close() })
+	return s.closeErr
 }
 
 // Metrics returns a snapshot of the folded scheduler event stream.
 func (s *Server) Metrics() sched.Metrics { return s.sm.Snapshot() }
 
-// CacheLen reports how many responses the result cache holds.
-func (s *Server) CacheLen() int { return s.cache.len() }
+// CacheLen reports how many records the result store holds, summed
+// over its tiers — a key resident in both the memory and disk tiers
+// counts twice (store.Tiered.Len's contract).
+func (s *Server) CacheLen() int { return s.store.Len() }
+
+// Store returns the server's tiered result store — read-only use only
+// (tests and warm-start probes); the server owns its lifecycle.
+func (s *Server) Store() *store.Tiered { return s.store }
+
+// StoreLoadReport reports what the persistent tier found on disk at
+// Open time: records loaded and records rejected by verification.
+// ok is false when no disk tier is configured.
+func (s *Server) StoreLoadReport() (loaded int, rejected int64, ok bool) {
+	if s.disk == nil {
+		return 0, 0, false
+	}
+	loaded, rejected = s.disk.LoadReport()
+	return loaded, rejected, true
+}
 
 // FlightRecorder exposes the ring of recent compile traces —
 // /debug/flightrecorder serves it, and cmd/lsmsd dumps it on SIGQUIT.
@@ -268,14 +343,30 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Tier 1: the content-addressed result cache.
-	if status, cached, ok := s.cache.get(hash); ok {
-		s.m.cacheHit()
-		s.writeRaw(w, status, cached, "hit")
-		s.logRequest(reqID, loop.Name, schedName, status, "hit", "cache-hit", time.Since(start))
+	// Tier 1: the content-addressed result store. A memory-tier hit
+	// keeps the pre-store "hit" label; a hit served from a deeper tier
+	// is "hit-disk" — it did I/O, so it also leaves a store-get trace
+	// in the flight recorder.
+	if rec, tier, ok := s.store.GetTier(hash); ok {
+		label := "hit"
+		if tier > 0 {
+			label = "hit-disk"
+			s.m.storeHit()
+			tr := obs.NewTrace(reqID, loop.Name)
+			tr.Scheduler = schedName
+			sp := tr.Start("store-get")
+			sp.Int("tier", int64(tier)).Int("body_bytes", int64(len(rec.Body)))
+			sp.End(obs.OutcomeOK)
+			tr.Finish(obs.OutcomeOK)
+			s.flight.Record(tr)
+		} else {
+			s.m.cacheHit()
+		}
+		s.writeRaw(w, rec.Status, rec.Body, label)
+		s.logRequest(reqID, loop.Name, schedName, rec.Status, label, "cache-hit", time.Since(start))
 		return
 	}
-	s.m.cacheMiss()
+	s.m.storeMiss()
 
 	// Tier 2: singleflight — concurrent identical requests share one
 	// compilation and its response bytes.
@@ -294,11 +385,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Tier 3: admission control, then a worker slot.
+	// Tier 3: admission control, then a worker slot. admitAndCompile
+	// writes cacheable outcomes through the store itself.
 	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID, scr.tail)
-	if out.cacheable {
-		s.cache.add(hash, out.status, out.body)
-	}
 	s.flights.finish(hash, c, out)
 	s.writeRaw(w, out.status, out.body, "miss")
 	s.logRequest(reqID, loop.Name, schedName, out.status, "miss", out.name, time.Since(start))
@@ -394,6 +483,14 @@ func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *
 		Degrade:     norm.Options.Degrade,
 	})
 	out := s.outcomeOf(norm, loop, schedName, hash, compiled, err)
+	if out.cacheable {
+		// Write-through under its own span: when the disk tier is
+		// configured this is the request's only durable I/O, and the
+		// flight recorder should show what it cost.
+		sp := tr.Start("store-put")
+		s.store.Put(hash, store.Record{Status: out.status, Machine: norm.Machine, Body: out.body})
+		sp.Int("body_bytes", int64(len(out.body))).End(obs.OutcomeOK)
+	}
 	if err != nil {
 		tr.Err = err.Error()
 	}
@@ -643,7 +740,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Running       int     `json:"running"`
 		Waiting       int     `json:"waiting"`
 		CacheEntries  int     `json:"cache_entries"`
-	}{status, time.Since(s.started).Seconds(), s.cfg.Workers, s.adm.running(), s.adm.waiting(), s.cache.len()}
+	}{status, time.Since(s.started).Seconds(), s.cfg.Workers, s.adm.running(), s.adm.waiting(), s.store.Len()}
 	body, _ := json.Marshal(out)
 	s.writeRaw(w, code, body, "")
 }

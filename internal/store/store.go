@@ -1,0 +1,85 @@
+// Package store is lsmsd's tiered result store: content-addressed
+// records of canonical compile-response bytes, keyed by the lsms-wire/2
+// content hash. The determinism guarantee of the wire format — same
+// request, same machine, same effort counters, same bytes — is what
+// makes the store sound: a record is not an approximation of a compile,
+// it IS the compile, so replaying it from any tier (including across
+// process restarts) is byte-identical to rescheduling it.
+//
+// Two implementations exist:
+//
+//   - Memory, a per-node LRU over whole records (the old private
+//     server cache, promoted to the public first tier);
+//   - Disk, a crash-safe append-only log with a per-record checksum,
+//     verified-on-load (a corrupt, truncated, or wrong-version record
+//     is skipped and counted, never served) and size-bounded log
+//     compaction — the tier that survives restarts.
+//
+// Tiered composes them: Get consults tiers front to back and promotes
+// lower-tier hits upward, Put writes through every tier, Len is the sum
+// over tiers. lsmsd mounts a Memory→Disk pair and exposes the disk
+// tier's health as lsmsd_store_{hits,misses,rejects}_total and
+// lsmsd_store_records.
+package store
+
+import (
+	"sync/atomic"
+)
+
+// Record is one stored compile outcome: the exact serialized response
+// bytes, the HTTP status they were served with, and the machine the
+// compile targeted (diagnostic: the hash already pins the machine).
+// Body must be treated as immutable by every tier and every caller.
+type Record struct {
+	Status  int
+	Machine string
+	Body    []byte
+}
+
+// Tier is one level of the result store. Implementations must be safe
+// for concurrent use.
+//
+// Get returns the record stored under key, or ok=false — a tier that
+// cannot produce the original bytes verbatim (corruption, eviction)
+// must miss, never guess. Put stores a record; tiers may drop it
+// (eviction, size bounds) without error. Len reports the number of
+// retrievable records. Close flushes and releases any resources; a
+// closed tier misses on Get and drops every Put.
+type Tier interface {
+	Get(key string) (Record, bool)
+	Put(key string, rec Record)
+	Len() int
+	Close() error
+}
+
+// Stats counts a tier's traffic: Hits and Misses are Get outcomes,
+// Rejects counts records that failed verification (checksum mismatch,
+// truncation, unsupported version) and were skipped rather than
+// served. All three are cumulative since the tier was opened.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Rejects int64
+}
+
+// StatsReporter is optionally implemented by tiers that count their
+// traffic; lsmsd's store metrics read it.
+type StatsReporter interface {
+	Stats() Stats
+}
+
+// counters is the shared atomic implementation behind each tier's
+// StatsReporter.
+type counters struct {
+	hits    atomic.Int64
+	misses  atomic.Int64
+	rejects atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Rejects: c.rejects.Load(),
+	}
+}

@@ -1,0 +1,79 @@
+package store
+
+import "errors"
+
+// Tiered composes tiers front (fastest) to back (most durable) into
+// one Tier. Get consults each tier in order and promotes a lower-tier
+// hit into every tier above it, so a key served from disk once is
+// served from memory after; Put writes through every tier; Len is the
+// sum over tiers — the value Server.CacheLen reports.
+type Tiered struct {
+	tiers []Tier
+}
+
+// NewTiered builds the composition; nil tiers are skipped. An empty
+// composition is valid: every Get misses and every Put is dropped.
+func NewTiered(tiers ...Tier) *Tiered {
+	t := &Tiered{}
+	for _, tier := range tiers {
+		if tier != nil {
+			t.tiers = append(t.tiers, tier)
+		}
+	}
+	return t
+}
+
+// Tiers returns the composed tiers, front first.
+func (t *Tiered) Tiers() []Tier { return t.tiers }
+
+// Get implements Tier.
+func (t *Tiered) Get(key string) (Record, bool) {
+	rec, _, ok := t.GetTier(key)
+	return rec, ok
+}
+
+// GetTier is Get plus the index of the tier that answered (0 = front),
+// so callers can label hits by depth — lsmsd's "hit" vs "hit-disk"
+// response header and its hits-by-tier counters.
+func (t *Tiered) GetTier(key string) (Record, int, bool) {
+	for i, tier := range t.tiers {
+		rec, ok := tier.Get(key)
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			t.tiers[j].Put(key, rec)
+		}
+		return rec, i, true
+	}
+	return Record{}, -1, false
+}
+
+// Put writes the record through every tier.
+func (t *Tiered) Put(key string, rec Record) {
+	for _, tier := range t.tiers {
+		tier.Put(key, rec)
+	}
+}
+
+// Len reports the total records over all tiers. A key resident in two
+// tiers counts twice: the number reflects stored records, not distinct
+// keys.
+func (t *Tiered) Len() int {
+	n := 0
+	for _, tier := range t.tiers {
+		n += tier.Len()
+	}
+	return n
+}
+
+// Close closes every tier, front to back, and joins their errors.
+func (t *Tiered) Close() error {
+	var errs []error
+	for _, tier := range t.tiers {
+		if err := tier.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -182,15 +182,6 @@ type Dep struct {
 	Kind    string `json:"kind"` // "mem" | "order"
 }
 
-// LookupMachine resolves a machine name to its description.
-//
-// Deprecated: use machine.Lookup, which this now delegates to. The
-// registry covers the whole target family (and anything registered at
-// runtime), not just the four paper variants this used to scan.
-func LookupMachine(name string) (*machine.Desc, bool) {
-	return machine.Lookup(name)
-}
-
 var fileByName = map[string]ir.RegFile{
 	ir.RR.String(): ir.RR, ir.GPR.String(): ir.GPR, ir.ICR.String(): ir.ICR,
 }
