@@ -13,7 +13,14 @@
 //
 // Experiments: table1 table2 table3 table4 fig5 fig6 fig7 fig8 effort
 // headline ablation regalloc iistep expansion predshare straightline
-// latencies targets perf metrics all
+// latencies targets gap perf metrics all
+//
+// The "gap" experiment re-searches the corpus with the exact
+// branch-and-bound backend under a per-loop budget (-gap-deadline,
+// -gap-nodes) and reports the heuristic's optimality gap per target:
+// how often slack was provably optimal, where the exact search won II
+// or MaxLive, and the timeout rate. Like "targets" it honors -targets
+// and prints console and Markdown tables.
 //
 // -machine runs the whole evaluation on another registered target (or
 // a spec file: any argument containing a path separator or .json is
@@ -79,7 +86,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "load mode: concurrent client workers")
 	scheduler := flag.String("scheduler", "slack", "load mode: scheduling policy to request")
 	machName := flag.String("machine", "", "target machine: a registered name or a spec file (default: the paper machine)")
-	targets := flag.String("targets", "", "targets experiment: comma-separated machine names (default: every registered target)")
+	targets := flag.String("targets", "", "targets/gap experiments: comma-separated machine names (default: every registered target)")
+	gapDeadline := flag.Duration("gap-deadline", 2*time.Second, "gap experiment: per-loop exact-search wall-clock budget")
+	gapNodes := flag.Int64("gap-nodes", 1<<20, "gap experiment: per-loop exact-search node budget")
 	flag.Parse()
 
 	mach := resolveMachine(*machName)
@@ -254,6 +263,23 @@ func main() {
 		fmt.Println(bench.RenderTargetSweep(rows))
 		fmt.Println("Markdown (EXPERIMENTS.md form):")
 		fmt.Println(bench.MarkdownTargetSweep(rows))
+	}
+	if want("gap") {
+		names := machine.Names()
+		if *targets != "" {
+			names = nil
+			for _, t := range strings.Split(*targets, ",") {
+				names = append(names, strings.TrimSpace(t))
+			}
+		}
+		rows, err := bench.GapSweep(bench.GapOptions{
+			Size: *size, Seed: *seed, Parallel: *par,
+			Targets: names, Deadline: *gapDeadline, Nodes: *gapNodes,
+		})
+		check(err)
+		fmt.Println(bench.RenderGap(rows))
+		fmt.Println("Markdown (EXPERIMENTS.md form):")
+		fmt.Println(bench.MarkdownGap(rows))
 	}
 	if want("perf") || *benchjson != "" {
 		r, err := bench.Perf(suite())

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	lsms [-scheduler slack|slack-unidirectional|cydrome|list]
+//	lsms [-scheduler slack|slack-unidirectional|cydrome|list|exact]
 //	     [-machine <registered name>|path/to/spec.json]
 //	     [-dump ir,sched,kernel,pressure]
 //	     [-trace[=text|chrome]] [-traceout lsms-trace.json]
@@ -100,7 +100,7 @@ func (f *traceFlag) Set(s string) error {
 }
 
 func main() {
-	schedName := flag.String("scheduler", "slack", "scheduling policy: slack, slack-unidirectional, cydrome, list")
+	schedName := flag.String("scheduler", "slack", "scheduling policy: slack, slack-unidirectional, cydrome, list, exact")
 	machName := flag.String("machine", machine.PaperMachine, "target machine: a registered name or a spec file (JSON)")
 	dump := flag.String("dump", "sched,pressure", "comma-separated: ir, sched, mrt, gantt, lifetimes, kernel, pressure")
 	verify := flag.Bool("verify", false, "execute the generated kernel on the VLIW simulator against the interpreter (auto-generated inputs)")

@@ -10,10 +10,22 @@
 //	      [-default-deadline 30s] [-max-deadline 2m] [-retry-after 1s]
 //	      [-debug-addr :8578] [-flight 64] [-log json|none]
 //	      [-machines spec.json,spec2.json]
+//	      [-refine] [-refine-workers 1] [-refine-deadline 5s]
+//	      [-refine-nodes N]
 //
 // -machines registers extra targets from declarative machine.Spec
 // documents at startup, alongside the built-in family; clients then
 // select them by name like any registered machine.
+//
+// -refine turns on the background exact-refinement tier (README
+// "Refining in the background"): cold compiles are re-searched by the
+// exact branch-and-bound backend under -refine-deadline /
+// -refine-nodes, and a strict improvement — lower II, or equal II with
+// lower MaxLive — upgrades the stored record in place, so later hits
+// serve the better schedule under the X-Lsmsd-Refined header. Note
+// that with refinement on, the bytes served for a key can improve
+// between hits; clients relying on byte-identity across a key's whole
+// lifetime should leave it off.
 //
 // -store-dir adds a persistent tier behind the in-memory result cache:
 // an append-only, checksummed log (README "Surviving restarts") that
@@ -78,6 +90,10 @@ func main() {
 	flight := flag.Int("flight", 0, "flight-recorder entries (0 = default 64)")
 	logMode := flag.String("log", "json", `request logging: "json" (structured, stderr) or "none"`)
 	machineFiles := flag.String("machines", "", "comma-separated machine spec files (JSON) to register at startup")
+	refine := flag.Bool("refine", false, "background exact refinement: upgrade stored results in place when the exact backend beats them")
+	refineWorkers := flag.Int("refine-workers", 0, "concurrent background refinements (0 = default 1)")
+	refineDeadline := flag.Duration("refine-deadline", 0, "wall-clock budget of one refinement (0 = default 5s)")
+	refineNodes := flag.Int64("refine-nodes", 0, "search-node budget of one refinement (0 = default 1<<20)")
 	flag.Parse()
 
 	if *machineFiles != "" {
@@ -121,6 +137,10 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		RetryAfter:      *retryAfter,
 		FlightEntries:   *flight,
+		Refine:          *refine,
+		RefineWorkers:   *refineWorkers,
+		RefineDeadline:  *refineDeadline,
+		RefineNodes:     *refineNodes,
 		Logger:          logger,
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/exact"
 	"repro/internal/ir"
 	"repro/internal/sched"
 )
@@ -19,6 +20,7 @@ const (
 	SchedSlackUni SchedulerName = "slack-unidirectional"
 	SchedCydrome  SchedulerName = "cydrome" // the baseline "Old Scheduler"
 	SchedList     SchedulerName = "list"    // no-backtracking list scheduler
+	SchedExact    SchedulerName = "exact"   // branch-and-bound optimal (II, MaxLive)
 )
 
 // ErrUnknownScheduler reports a SchedulerName with no registered
@@ -137,5 +139,8 @@ func init() {
 	})
 	Register(SchedList, func(cfg sched.Config) Runner {
 		return listRunner{cfg}
+	})
+	Register(SchedExact, func(cfg sched.Config) Runner {
+		return exact.New(cfg)
 	})
 }

@@ -37,6 +37,13 @@ type metrics struct {
 	badRequests     *obs.Family
 	internalErrors  *obs.Family
 
+	// Background refinement tier (Config.Refine); every started
+	// refinement ends in exactly one of the three outcome counters.
+	refineStarted   *obs.Family
+	refineImproved  *obs.Family
+	refineUnchanged *obs.Family
+	refineExhausted *obs.Family
+
 	// The scheduler/outcome-labelled view of finished compiles, and the
 	// distribution histograms.
 	compiles       *obs.Family // lsmsd_compiles_total{scheduler,outcome}
@@ -68,6 +75,10 @@ func newMetrics(s *Server) *metrics {
 	m.budgetExhausted = r.Counter("lsmsd_compile_budget_exhausted_total", "Compilations that exhausted their budget.")
 	m.badRequests = r.Counter("lsmsd_bad_requests_total", "Malformed or unresolvable requests.")
 	m.internalErrors = r.Counter("lsmsd_internal_errors_total", "Internal failures.")
+	m.refineStarted = r.Counter("lsmsd_refine_started_total", "Background exact refinements started.")
+	m.refineImproved = r.Counter("lsmsd_refine_improved_total", "Refinements that strictly improved (II, MaxLive) and upgraded the store record.")
+	m.refineUnchanged = r.Counter("lsmsd_refine_unchanged_total", "Refinements whose exact result did not beat the served schedule.")
+	m.refineExhausted = r.Counter("lsmsd_refine_exhausted_total", "Refinements that ended without a usable exact result (budget, cancellation, decode failure).")
 
 	m.compiles = r.Counter("lsmsd_compiles_total",
 		"Finished compilations by scheduling policy and outcome.", "scheduler", "outcome")

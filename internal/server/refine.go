@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/mindist"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// The refinement tier (Config.Refine): requests are answered
+// immediately by the scheduler they asked for, and a small background
+// worker pool keeps searching with the exact backend under a long
+// budget. When the exact result strictly improves on the served one —
+// lower II, or equal II with lower MaxLive — the store record is
+// upgraded in place (disk first, then memory, see store.Tiered.Upgrade)
+// so every subsequent hit serves the refined schedule, flagged with the
+// X-Lsmsd-Refined response header. A key is enqueued once, on the cold
+// compile that created its record; hits never re-enqueue, so an
+// exhausted refinement (budget ran out without an improvement) leaves
+// the record as-is permanently — by then the exact search has had a far
+// larger budget than the synchronous compile, and retrying it on every
+// hit would burn the background pool on proven-unimprovable keys.
+
+// refineJob is one queued refinement: a private copy of the raw request
+// bytes (the handler's decode buffers are pooled and recycled, so the
+// worker re-decodes from its own copy) plus the served response bytes
+// for the strict-improvement comparison.
+type refineJob struct {
+	hash      string
+	reqID     string
+	schedName string
+	loopName  string
+	rawReq    []byte // owned copy of the request body
+	baseBody  []byte // served response bytes (immutable by outcome contract)
+}
+
+// refiner is the background worker pool. Workers honor ctx — Close
+// cancels it and the exact search's budget guard observes it within
+// one check stride — and drain nothing on shutdown: queued jobs are
+// abandoned, which is safe because refinement is a pure optimization
+// of already-correct records.
+type refiner struct {
+	s      *Server
+	jobs   chan refineJob
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func newRefiner(s *Server) *refiner {
+	r := &refiner{s: s, jobs: make(chan refineJob, s.cfg.RefineQueue)}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	for i := 0; i < s.cfg.RefineWorkers; i++ {
+		r.wg.Add(1)
+		go r.run()
+	}
+	return r
+}
+
+// enqueue offers a job without blocking the request path; a full queue
+// drops the job (the record stays correct, just unrefined).
+func (r *refiner) enqueue(job refineJob) bool {
+	select {
+	case r.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops the workers and waits for the in-flight refinements to
+// observe the cancellation. Called before the store closes, so an
+// upgrade that already started either completes into a live store or
+// is dropped by the closed tiers — never half-written (each tier's Put
+// is atomic under its own lock).
+func (r *refiner) close() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+func (r *refiner) run() {
+	defer r.wg.Done()
+	var dec wire.Scratch
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case job := <-r.jobs:
+			r.process(&dec, job)
+			dec.Reset()
+		}
+	}
+}
+
+// process runs one refinement end to end: re-decode, exact search,
+// strict-improvement comparison, store upgrade. Every job leaves one
+// `refine` trace in the flight recorder and bumps exactly one of the
+// improved/unchanged/exhausted counters.
+func (r *refiner) process(dec *wire.Scratch, job refineJob) {
+	s := r.s
+	start := time.Now()
+	s.m.refineStarted.Inc()
+	tr := obs.NewTrace(job.reqID, job.loopName)
+	tr.Scheduler = string(core.SchedExact)
+	sp := tr.Start("refine")
+
+	outcome := "exhausted"
+	defer func() {
+		sp.End(outcome)
+		tr.Finish(outcome)
+		s.flight.Record(tr)
+		switch outcome {
+		case "improved":
+			s.m.refineImproved.Inc()
+		case "unchanged":
+			s.m.refineUnchanged.Inc()
+		default:
+			s.m.refineExhausted.Inc()
+		}
+		if s.logger != nil {
+			s.logger.Info("refine",
+				"request_id", job.reqID,
+				"loop", job.loopName,
+				"scheduler", job.schedName,
+				"hash", job.hash,
+				"outcome", outcome,
+				"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			)
+		}
+	}()
+
+	req, err := dec.DecodeRequest(job.rawReq)
+	if err != nil {
+		tr.Err = err.Error()
+		return
+	}
+	norm, loop, err := req.Normalize()
+	if err != nil {
+		tr.Err = err.Error()
+		return
+	}
+	var base wire.Response
+	if err := json.Unmarshal(job.baseBody, &base); err != nil {
+		tr.Err = err.Error()
+		return
+	}
+
+	// The request's structural options (MaxII, StartII, increment mode)
+	// still bind — a refined schedule must satisfy the same contract the
+	// original answer did — but the synchronous deadline does not: the
+	// whole point of the tier is searching under a longer budget.
+	cfg := norm.Options.SchedConfig()
+	cfg.Budget.Deadline = s.cfg.RefineDeadline
+	cfg.Budget.MaxCentralIters = s.cfg.RefineNodes
+	cfg.Budget.MaxIIAttempts = 0
+	out, err := exact.New(cfg).Search(r.ctx, loop)
+	if err != nil || out == nil || out.Result == nil || !out.Result.OK() {
+		if err != nil {
+			tr.Err = err.Error()
+		}
+		return
+	}
+	res := out.Result
+	eII, eML := res.Schedule.II, out.MaxLive
+	sp.Int("base_ii", int64(base.II)).Int("base_maxlive", int64(base.MaxLive))
+	sp.Int("ii", int64(eII)).Int("maxlive", int64(eML))
+	if out.Proven {
+		sp.Int("proven", 1)
+	}
+	if eII > base.II || (eII == base.II && eML >= base.MaxLive) {
+		outcome = "unchanged"
+		return
+	}
+
+	md := res.MinDist
+	if md == nil || md.II != res.Schedule.II {
+		md, err = mindist.Compute(loop, res.Schedule.II)
+		if err != nil {
+			tr.Err = err.Error()
+			return
+		}
+	}
+	sc := res.Schedule
+	b := res.Bounds
+	resp := &wire.Response{
+		Hash:      job.hash,
+		Loop:      loop.Name,
+		Machine:   norm.Machine,
+		Scheduler: job.schedName,
+		OK:        true,
+		Bounds:    wire.Bounds{ResMII: b.ResMII, RecMII: b.RecMII, MII: b.MII},
+		II:        sc.II,
+		Length:    sc.Length(),
+		Stages:    sc.Stages(),
+		Times:     sc.Time,
+		MaxLive:   eML,
+		MinAvg:    mindist.MinAvg(loop, md, ir.RR),
+		ICR:       lifetime.ICRUsage(loop, sc),
+		GPRs:      loop.GPRCount(),
+		Effort:    wire.EffortOf(res.Stats),
+		Refined:   true,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		tr.Err = err.Error()
+		return
+	}
+	if r.ctx.Err() != nil {
+		return // shutting down: don't race the store teardown
+	}
+	s.store.Upgrade(job.hash, store.Record{
+		Status:  http.StatusOK,
+		Machine: norm.Machine,
+		Body:    body,
+		Refined: true,
+	})
+	outcome = "improved"
+}

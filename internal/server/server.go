@@ -92,6 +92,27 @@ type Config struct {
 	// FlightEntries bounds the flight recorder's ring of recent compile
 	// traces; default obs.DefaultFlightEntries.
 	FlightEntries int
+	// Refine enables the background exact-refinement tier: cold compiles
+	// are re-searched by the exact backend under RefineDeadline /
+	// RefineNodes, and a strict improvement upgrades the store record in
+	// place (served with X-Lsmsd-Refined on subsequent hits). Off by
+	// default: with refinement on, the bytes served for a key can change
+	// (improve) between hits, which callers relying on replay
+	// byte-identity across a key's whole lifetime must opt into.
+	Refine bool
+	// RefineWorkers bounds concurrent background refinements; default 1.
+	RefineWorkers int
+	// RefineDeadline is the wall-clock budget of one refinement; default
+	// 5s.
+	RefineDeadline time.Duration
+	// RefineNodes caps one refinement's search nodes
+	// (sched.Budget.MaxCentralIters for the exact backend); default
+	// 1<<20.
+	RefineNodes int64
+	// RefineQueue bounds the pending-refinement queue; a full queue
+	// drops new jobs (the served record stays valid, just unrefined).
+	// Default 256.
+	RefineQueue int
 	// Logger, when non-nil, receives one structured record per compile
 	// request (request ID, loop, scheduler, status, cache tier, outcome,
 	// duration).
@@ -123,6 +144,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.RefineWorkers <= 0 {
+		c.RefineWorkers = 1
+	}
+	if c.RefineDeadline <= 0 {
+		c.RefineDeadline = 5 * time.Second
+	}
+	if c.RefineNodes <= 0 {
+		c.RefineNodes = 1 << 20
+	}
+	if c.RefineQueue <= 0 {
+		c.RefineQueue = 256
+	}
 	return c
 }
 
@@ -135,6 +168,7 @@ type Server struct {
 	store     *store.Tiered
 	disk      *store.Disk // the persistent tier, nil when not configured
 	flights   *flightGroup
+	refine    *refiner // nil unless Config.Refine
 	sm        *sched.SafeMetrics
 	flight    *obs.FlightRecorder
 	m         *metrics
@@ -188,6 +222,9 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.m = newMetrics(s)
+	if cfg.Refine {
+		s.refine = newRefiner(s)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
@@ -221,9 +258,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Close releases the result store without draining — Shutdown's last
-// step, and the test-friendly teardown. Idempotent.
+// step, and the test-friendly teardown. The refiner stops first (its
+// in-flight upgrades either land in a live store or are dropped by the
+// closed tiers), then the store closes. Idempotent.
 func (s *Server) Close() error {
-	s.closeOnce.Do(func() { s.closeErr = s.store.Close() })
+	s.closeOnce.Do(func() {
+		if s.refine != nil {
+			s.refine.close()
+		}
+		s.closeErr = s.store.Close()
+	})
 	return s.closeErr
 }
 
@@ -362,6 +406,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.m.cacheHit()
 		}
+		if rec.Refined {
+			// Header only: the stored body already says refined, and the
+			// bytes must replay unchanged for the hit to stay byte-stable.
+			w.Header().Set("X-Lsmsd-Refined", "true")
+		}
 		s.writeRaw(w, rec.Status, rec.Body, label)
 		s.logRequest(reqID, loop.Name, schedName, rec.Status, label, "cache-hit", time.Since(start))
 		return
@@ -389,6 +438,21 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// writes cacheable outcomes through the store itself.
 	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID, scr.tail)
 	s.flights.finish(hash, c, out)
+	if s.refine != nil && out.cacheable && out.status == http.StatusOK &&
+		out.name == obs.OutcomeOK && schedName != string(core.SchedExact) {
+		// Background refinement rides on the cold compile that created the
+		// store record. The job owns a copy of the raw request (the decode
+		// scratch is pooled) and references the response bytes (immutable
+		// once published).
+		s.refine.enqueue(refineJob{
+			hash:      hash,
+			reqID:     reqID,
+			schedName: schedName,
+			loopName:  loop.Name,
+			rawReq:    append([]byte(nil), body...),
+			baseBody:  out.body,
+		})
+	}
 	s.writeRaw(w, out.status, out.body, "miss")
 	s.logRequest(reqID, loop.Name, schedName, out.status, "miss", out.name, time.Since(start))
 }

@@ -53,14 +53,20 @@ type Disk struct {
 }
 
 type diskEntry struct {
-	off  int64
-	size int64 // whole record, header included
-	seq  int64
+	off     int64
+	size    int64 // whole record, header included
+	seq     int64
+	refined bool
 }
 
 const (
-	diskVersion    = 1
-	headerSize     = 20
+	diskVersion = 1
+	headerSize  = 20
+	// refinedBit marks a record upgraded by the background refiner. It
+	// rides in the high bit of the on-disk status field (real HTTP
+	// statuses stay below 600), so the layout and version are unchanged
+	// and logs written before the refiner existed load as unrefined.
+	refinedBit     = 0x8000
 	maxKeyBytes    = 1 << 10
 	maxMachBytes   = 1 << 10
 	maxRecordBytes = 64 << 20
@@ -159,7 +165,8 @@ func (d *Disk) load() error {
 		if old, dup := d.index[key]; dup {
 			d.live -= old.size
 		}
-		d.index[key] = diskEntry{off: int64(off), size: int64(size), seq: d.seq}
+		refined := binary.LittleEndian.Uint16(rec[6:8])&refinedBit != 0
+		d.index[key] = diskEntry{off: int64(off), size: int64(size), seq: d.seq, refined: refined}
 		d.live += int64(size)
 		off += size
 	}
@@ -219,12 +226,13 @@ func (d *Disk) Get(key string) (Record, bool) {
 		return Record{}, false
 	}
 	d.counter.hits.Add(1)
-	return Record{Status: rec.status, Machine: string(rec.machine), Body: rec.body}, true
+	return Record{Status: rec.status, Machine: string(rec.machine), Body: rec.body, Refined: rec.refined}, true
 }
 
 // rawRecord is one verified on-disk record, borrowed or copied.
 type rawRecord struct {
 	status  int
+	refined bool
 	key     []byte
 	machine []byte
 	body    []byte
@@ -254,8 +262,10 @@ func (d *Disk) readAt(e diskEntry) (rawRecord, bool) {
 		return rawRecord{}, false
 	}
 	p := buf[headerSize:]
+	status := binary.LittleEndian.Uint16(buf[6:8])
 	return rawRecord{
-		status:  int(binary.LittleEndian.Uint16(buf[6:8])),
+		status:  int(status &^ refinedBit),
+		refined: status&refinedBit != 0,
 		key:     p[:keyLen],
 		machine: p[keyLen : keyLen+machLen],
 		body:    p[keyLen+machLen:],
@@ -276,9 +286,11 @@ func (d *Disk) Put(key string, rec Record) {
 	if d.closed {
 		return
 	}
-	if _, ok := d.index[key]; ok {
+	if e, ok := d.index[key]; ok && e.refined == rec.Refined {
 		// The hash is a content address of deterministic work: a live
-		// record for the key already holds these bytes.
+		// record for the key with the same refinement generation already
+		// holds these bytes. A differing flag is the refiner superseding
+		// (or a promotion racing an upgrade) — append so last write wins.
 		return
 	}
 	if err := d.append(key, rec); err != nil {
@@ -301,7 +313,11 @@ func (d *Disk) append(key string, rec Record) error {
 	buf := make([]byte, size)
 	copy(buf[:4], diskMagic[:])
 	binary.LittleEndian.PutUint16(buf[4:6], diskVersion)
-	binary.LittleEndian.PutUint16(buf[6:8], uint16(rec.Status))
+	status := uint16(rec.Status)
+	if rec.Refined {
+		status |= refinedBit
+	}
+	binary.LittleEndian.PutUint16(buf[6:8], status)
 	binary.LittleEndian.PutUint16(buf[8:10], uint16(len(key)))
 	binary.LittleEndian.PutUint16(buf[10:12], uint16(len(rec.Machine)))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(rec.Body)))
@@ -314,7 +330,10 @@ func (d *Disk) append(key string, rec Record) error {
 		return err
 	}
 	d.seq++
-	d.index[key] = diskEntry{off: d.size, size: int64(size), seq: d.seq}
+	if old, dup := d.index[key]; dup {
+		d.live -= old.size
+	}
+	d.index[key] = diskEntry{off: d.size, size: int64(size), seq: d.seq, refined: rec.Refined}
 	d.live += int64(size)
 	d.size += int64(size)
 	return nil

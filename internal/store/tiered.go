@@ -56,6 +56,22 @@ func (t *Tiered) Put(key string, rec Record) {
 	}
 }
 
+// Upgrade replaces the record under key in every tier, writing back to
+// front — the durable tier first — so a concurrent GetTier promotion
+// cannot resurrect the superseded record over the upgraded one in the
+// back tiers: by the time the front tier serves the new record, the
+// tiers a promotion copies from already hold it. (A promotion racing
+// mid-upgrade can still briefly re-front the old record; the next Get
+// after the upgrade completes re-promotes the new one — last write
+// wins, and both versions are valid responses for the key.) lsmsd's
+// refiner is the caller: same key, strictly better schedule in the
+// body.
+func (t *Tiered) Upgrade(key string, rec Record) {
+	for i := len(t.tiers) - 1; i >= 0; i-- {
+		t.tiers[i].Put(key, rec)
+	}
+}
+
 // Len reports the total records over all tiers. A key resident in two
 // tiers counts twice: the number reflects stored records, not distinct
 // keys.

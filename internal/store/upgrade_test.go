@@ -1,0 +1,101 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDiskRefinedRoundTrip: the refined flag survives the disk tier,
+// including a reopen — a restarted daemon keeps labeling upgraded
+// records.
+func TestDiskRefinedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("plain", Record{Status: 200, Machine: "cydra", Body: []byte(`{"ii":4}`)})
+	d.Put("better", Record{Status: 200, Machine: "cydra", Body: []byte(`{"ii":3}`), Refined: true})
+	check := func(d *Disk, stage string) {
+		t.Helper()
+		if rec, ok := d.Get("plain"); !ok || rec.Refined || rec.Status != 200 {
+			t.Fatalf("%s: plain = %+v ok=%v", stage, rec, ok)
+		}
+		if rec, ok := d.Get("better"); !ok || !rec.Refined || rec.Status != 200 {
+			t.Fatalf("%s: better = %+v ok=%v", stage, rec, ok)
+		}
+	}
+	check(d, "live")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	check(d2, "reopened")
+	if loaded, rejected := d2.LoadReport(); loaded != 2 || rejected != 0 {
+		t.Fatalf("reopen load report: loaded=%d rejected=%d", loaded, rejected)
+	}
+}
+
+// TestDiskUpgradeSupersedes: re-Putting a key with a flipped refined
+// flag must not hit the idempotent-re-Put fast path; the new record
+// wins, in place and across restart.
+func TestDiskUpgradeSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := "loop"
+	orig := []byte(`{"ii":5,"max_live":9}`)
+	refined := []byte(`{"ii":5,"max_live":8,"refined":true}`)
+	d.Put(k, Record{Status: 200, Machine: "cydra", Body: orig})
+	// Identical re-Put is still free.
+	d.Put(k, Record{Status: 200, Machine: "cydra", Body: orig})
+	d.Put(k, Record{Status: 200, Machine: "cydra", Body: refined, Refined: true})
+	rec, ok := d.Get(k)
+	if !ok || !rec.Refined || !bytes.Equal(rec.Body, refined) {
+		t.Fatalf("after upgrade: %+v ok=%v", rec, ok)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec, ok = d2.Get(k)
+	if !ok || !rec.Refined || !bytes.Equal(rec.Body, refined) {
+		t.Fatalf("after restart: %+v ok=%v", rec, ok)
+	}
+}
+
+// TestTieredUpgrade: Upgrade writes back to front through every tier,
+// so both the memory and the disk tier serve the refined record and a
+// subsequent promotion cannot resurrect the old one.
+func TestTieredUpgrade(t *testing.T) {
+	mem := NewMemory(16)
+	disk, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	tiered := NewTiered(mem, disk)
+	k := "loop"
+	tiered.Put(k, Record{Status: 200, Machine: "cydra", Body: []byte(`v1`)})
+	tiered.Upgrade(k, Record{Status: 200, Machine: "cydra", Body: []byte(`v2`), Refined: true})
+	for i, tier := range tiered.Tiers() {
+		rec, ok := tier.Get(k)
+		if !ok || !rec.Refined || !bytes.Equal(rec.Body, []byte(`v2`)) {
+			t.Fatalf("tier %d after upgrade: %+v ok=%v", i, rec, ok)
+		}
+	}
+	rec, tierIdx, ok := tiered.GetTier(k)
+	if !ok || tierIdx != 0 || !rec.Refined {
+		t.Fatalf("GetTier after upgrade: %+v tier=%d ok=%v", rec, tierIdx, ok)
+	}
+}

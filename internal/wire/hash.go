@@ -95,6 +95,10 @@ type Response struct {
 	ICR     int    `json:"icr,omitempty"`
 	GPRs    int    `json:"gprs,omitempty"`
 	Effort  Effort `json:"effort"`
+	// Refined marks a response whose schedule was upgraded in place by
+	// lsmsd's background exact-refinement tier: same request hash,
+	// strictly better (II, MaxLive) than the synchronous answer.
+	Refined bool   `json:"refined,omitempty"`
 	Error   *Error `json:"error,omitempty"`
 }
 
