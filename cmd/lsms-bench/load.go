@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/loopgen"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -26,6 +27,7 @@ type loadOptions struct {
 	Deadline    time.Duration // per-request deadline carried in the wire options
 	Size        int           // corpus size (loopgen)
 	Seed        int64         // corpus seed
+	Trace       bool          // send a sampled traceparent per request
 }
 
 // loadResult is one request's observation.
@@ -33,6 +35,8 @@ type loadResult struct {
 	status  int
 	cache   string // X-Lsmsd-Cache: hit, hit-disk, miss, dedup, or ""
 	latency time.Duration
+	timing  string // the server's Server-Timing breakdown (tracing mode)
+	stitch  bool   // the response traceparent carried our TraceID back
 	err     error
 }
 
@@ -85,30 +89,77 @@ func runLoad(opt loadOptions) error {
 				if i >= opt.Requests {
 					return
 				}
-				results[i] = shoot(client, url, bodies[i%len(bodies)])
+				results[i] = shoot(client, url, bodies[i%len(bodies)], opt.Trace)
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	return reportLoad(results, wall)
+	return reportLoad(results, wall, opt.Trace)
 }
 
-// shoot issues one compile request and records its observation.
-func shoot(client *http.Client, url string, body []byte) loadResult {
+// shoot issues one compile request and records its observation. With
+// trace on it plays the upstream service: a fresh sampled traceparent
+// goes out, and the response's traceparent must carry the same TraceID
+// back (the cross-process stitch every real caller depends on).
+func shoot(client *http.Client, url string, body []byte, trace bool) loadResult {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return loadResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var sent obs.SpanContext
+	if trace {
+		sent = obs.NewSpanContext()
+		sent.Sampled = true
+		req.Header.Set("traceparent", sent.Traceparent())
+	}
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(req)
 	if err != nil {
 		return loadResult{err: err, latency: time.Since(t0)}
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return loadResult{
+	out := loadResult{
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Lsmsd-Cache"),
 		latency: time.Since(t0),
 	}
+	if trace {
+		out.timing = resp.Header.Get("Server-Timing")
+		if got, err := obs.ParseTraceparent(resp.Header.Get("Traceparent")); err == nil {
+			out.stitch = got.TraceID == sent.TraceID
+		}
+	}
+	return out
+}
+
+// stageTimings folds every response's Server-Timing header
+// (`name;dur=ms`, comma-separated) into per-stage totals.
+func stageTimings(results []loadResult) (names []string, totalMS map[string]float64, counts map[string]int) {
+	totalMS = map[string]float64{}
+	counts = map[string]int{}
+	for _, r := range results {
+		for _, part := range strings.Split(r.timing, ",") {
+			name, durStr, ok := strings.Cut(strings.TrimSpace(part), ";dur=")
+			if !ok || name == "" {
+				continue
+			}
+			var ms float64
+			if _, err := fmt.Sscanf(durStr, "%g", &ms); err != nil {
+				continue
+			}
+			if counts[name] == 0 {
+				names = append(names, name)
+			}
+			totalMS[name] += ms
+			counts[name]++
+		}
+	}
+	sort.Strings(names)
+	return names, totalMS, counts
 }
 
 // reportLoad prints throughput, latency quantiles (overall, for the
@@ -118,7 +169,7 @@ func shoot(client *http.Client, url string, body []byte) loadResult {
 // first replay pass shows up as hit-disk (warm: served from the
 // persistent tier without scheduling) and later passes as hit; a cold
 // server shows misses instead.
-func reportLoad(results []loadResult, wall time.Duration) error {
+func reportLoad(results []loadResult, wall time.Duration, trace bool) error {
 	var lats, missLats, diskLats []int // microseconds
 	statuses := map[int]int{}
 	caches := map[string]int{}
@@ -181,6 +232,20 @@ func reportLoad(results []loadResult, wall time.Duration) error {
 			100*float64(warm)/float64(done),
 			100*float64(caches["hit-disk"])/float64(done),
 			100*float64(caches["miss"])/float64(done))
+	}
+	if trace && done > 0 {
+		stitched := 0
+		for _, r := range results {
+			if r.stitch {
+				stitched++
+			}
+		}
+		fmt.Printf("trace:  %d/%d responses stitched our TraceID back\n", stitched, done)
+		names, totalMS, counts := stageTimings(results)
+		for _, n := range names {
+			fmt.Printf("stage %-14s n=%-5d total %.1fms  mean %.3fms\n",
+				n, counts[n], totalMS[n], totalMS[n]/float64(counts[n]))
+		}
 	}
 	return nil
 }

@@ -85,6 +85,7 @@ func main() {
 	requests := flag.Int("requests", 0, "load mode: total requests to issue (0 = one per corpus loop)")
 	concurrency := flag.Int("concurrency", 8, "load mode: concurrent client workers")
 	scheduler := flag.String("scheduler", "slack", "load mode: scheduling policy to request")
+	trace := flag.Bool("trace", false, "load mode: send a sampled W3C traceparent per request and report the server's per-stage Server-Timing breakdown")
 	machName := flag.String("machine", "", "target machine: a registered name or a spec file (default: the paper machine)")
 	targets := flag.String("targets", "", "targets/gap experiments: comma-separated machine names (default: every registered target)")
 	gapDeadline := flag.Duration("gap-deadline", 2*time.Second, "gap experiment: per-loop exact-search wall-clock budget")
@@ -121,6 +122,7 @@ func main() {
 			Deadline:    *deadline,
 			Size:        n,
 			Seed:        *seed,
+			Trace:       *trace,
 		}))
 		return
 	}

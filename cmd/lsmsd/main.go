@@ -12,6 +12,8 @@
 //	      [-machines spec.json,spec2.json]
 //	      [-refine] [-refine-workers 1] [-refine-deadline 5s]
 //	      [-refine-nodes N]
+//	      [-trace-dir DIR | -trace-collector URL] [-trace-sample N]
+//	      [-slo-objective 0.99] [-slo-latency 500ms] [-slo-burn 10]
 //
 // -machines registers extra targets from declarative machine.Spec
 // documents at startup, alongside the built-in family; clients then
@@ -27,6 +29,25 @@
 // between hits; clients relying on byte-identity across a key's whole
 // lifetime should leave it off.
 //
+// -trace-dir (or -trace-collector) turns on distributed tracing (README
+// "Tracing a request across the service"): POST /v1/compile honors an
+// incoming W3C traceparent header (minting a fresh trace when absent),
+// answers with the server's own traceparent and a per-stage
+// Server-Timing header, and ships sampled traces — request root span
+// plus one child span per pipeline phase, with span links tying refine
+// and warm-start work back to the requests that caused it — as
+// lsms-trace/1 (OTLP/JSON) documents to the spool directory or
+// collector endpoint. -trace-sample=N head-samples 1-in-N
+// deterministically by trace ID; requests whose caller already sampled
+// are always exported.
+//
+// The SLO tracker is always on: every compile response lands in rolling
+// 5-minute and 1-hour windows scored against -slo-objective (success
+// rate) and -slo-latency. When the error-budget burn rate exceeds
+// -slo-burn in BOTH windows, /readyz degrades to 503 while /healthz
+// stays 200 — load balancers route away before anything restarts the
+// process. /debug/slo (debug listener) serves the full tracker state.
+//
 // -store-dir adds a persistent tier behind the in-memory result cache:
 // an append-only, checksummed log (README "Surviving restarts") that
 // answers repeat requests byte-identically across process restarts.
@@ -41,6 +62,8 @@
 //	GET  /v1/schedulers — registered scheduling policies
 //	GET  /v1/machines   — registered targets and their unit mixes
 //	GET  /healthz       — liveness and pool occupancy
+//	GET  /readyz        — readiness (degrades on SLO burn before
+//	                      /healthz fails)
 //	GET  /metrics       — Prometheus text exposition
 //
 // With -debug-addr a second listener serves the introspection surface,
@@ -48,6 +71,8 @@
 //
 //	GET  /debug/pprof/...       — the standard net/http/pprof handlers
 //	GET  /debug/flightrecorder  — the last -flight compile traces
+//	                              (?trace=<id> filters to one W3C trace)
+//	GET  /debug/slo             — SLO window counts, burn rates, verdict
 //
 // SIGQUIT dumps the flight recorder to stderr and keeps serving — the
 // "what was this process just doing" question, answerable without
@@ -94,6 +119,13 @@ func main() {
 	refineWorkers := flag.Int("refine-workers", 0, "concurrent background refinements (0 = default 1)")
 	refineDeadline := flag.Duration("refine-deadline", 0, "wall-clock budget of one refinement (0 = default 5s)")
 	refineNodes := flag.Int64("refine-nodes", 0, "search-node budget of one refinement (0 = default 1<<20)")
+	traceDir := flag.String("trace-dir", "", "spool sampled request traces as lsms-trace/1 JSON files into this directory")
+	traceCollector := flag.String("trace-collector", "", "POST sampled traces to this HTTP collector endpoint (-trace-dir wins when both are set)")
+	traceSample := flag.Int("trace-sample", 1, "head-sample 1-in-N traces deterministically by trace ID (1 = all, negative = none)")
+	traceQueue := flag.Int("trace-queue", 0, "trace export queue depth; a full queue drops (0 = default 256)")
+	sloObjective := flag.Float64("slo-objective", 0, "success-rate objective in (0,1) (0 = default 0.99)")
+	sloLatency := flag.Duration("slo-latency", 0, "per-request latency objective (0 = default 500ms)")
+	sloBurn := flag.Float64("slo-burn", 0, "burn rate above which /readyz degrades, both windows (0 = default 10, negative disables)")
 	flag.Parse()
 
 	if *machineFiles != "" {
@@ -128,20 +160,27 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cache,
-		StoreDir:        *storeDir,
-		StoreMaxBytes:   *storeMaxBytes,
-		DefaultDeadline: *defDeadline,
-		MaxDeadline:     *maxDeadline,
-		RetryAfter:      *retryAfter,
-		FlightEntries:   *flight,
-		Refine:          *refine,
-		RefineWorkers:   *refineWorkers,
-		RefineDeadline:  *refineDeadline,
-		RefineNodes:     *refineNodes,
-		Logger:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		StoreDir:         *storeDir,
+		StoreMaxBytes:    *storeMaxBytes,
+		DefaultDeadline:  *defDeadline,
+		MaxDeadline:      *maxDeadline,
+		RetryAfter:       *retryAfter,
+		FlightEntries:    *flight,
+		Refine:           *refine,
+		RefineWorkers:    *refineWorkers,
+		RefineDeadline:   *refineDeadline,
+		RefineNodes:      *refineNodes,
+		TraceDir:         *traceDir,
+		TraceCollector:   *traceCollector,
+		TraceSample:      *traceSample,
+		TraceQueue:       *traceQueue,
+		SLOObjective:     *sloObjective,
+		SLOLatency:       *sloLatency,
+		SLOBurnThreshold: *sloBurn,
+		Logger:           logger,
 	})
 	if err != nil {
 		fatalf("%v", err)

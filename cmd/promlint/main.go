@@ -1,9 +1,15 @@
 // Command promlint checks a Prometheus text exposition for the format
 // errors that break real scrapers: samples without HELP/TYPE, duplicate
 // series, counters not suffixed _total, histograms with missing or
-// non-cumulative le buckets. It reads a file (or stdin) and exits 1
-// when it finds anything, printing one issue per line — the shape CI
-// wants for gating /metrics:
+// non-cumulative le buckets. It also enforces the cardinality
+// discipline tracing introduces: OpenMetrics exemplar sections
+// (`# {trace_id="..."} value`) must be syntactically valid and may only
+// annotate _bucket/_total samples, while trace/span-ID-shaped values
+// and per-request identifier names (trace_id, span_id, request_id) are
+// rejected as series labels — correlation belongs in exemplars, never
+// in the label space. It reads a file (or stdin) and exits 1 when it
+// finds anything, printing one issue per line — the shape CI wants for
+// gating /metrics:
 //
 //	curl -s localhost:8577/metrics | promlint
 //	promlint scrape.txt

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary — the labels of the
+// lsmsd_build_info gauge, so a fleet dashboard can tell which nodes run
+// which revision without shelling into them.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for local
+	// builds), falling back to the VCS revision when the module version
+	// is unset.
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// ReadBuildInfo extracts the binary's identity from the embedded build
+// metadata. Never fails: a binary built without module info reports
+// "unknown".
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if v := info.Main.Version; v != "" {
+		bi.Version = v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+			bi.Version = s.Value[:7]
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo registers the conventional *_build_info gauge: a
+// constant 1 whose labels carry the identity. extraNames/extraVals add
+// deployment-specific labels (lsmsd adds the registered-machine count).
+func RegisterBuildInfo(r *Registry, name, help string, extraNames, extraVals []string) {
+	bi := ReadBuildInfo()
+	names := append([]string{"version", "go_version"}, extraNames...)
+	vals := append([]string{bi.Version, bi.GoVersion}, extraVals...)
+	r.Gauge(name, help, names...).Set(1, vals...)
+}

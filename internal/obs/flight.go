@@ -84,7 +84,26 @@ type flightDump struct {
 // WriteJSON dumps the retained traces (oldest-first) as indented JSON —
 // the payload of GET /debug/flightrecorder and of lsmsd's SIGQUIT dump.
 func (r *FlightRecorder) WriteJSON(w io.Writer) error {
-	dump := flightDump{Total: r.Total(), Entries: r.Snapshot()}
+	return r.WriteJSONFilter(w, nil)
+}
+
+// WriteJSONFilter is WriteJSON keeping only traces keep accepts (nil
+// keeps everything). Total still reports every trace ever recorded —
+// the filter narrows the dump, not the history. Backs the
+// /debug/flightrecorder?trace=<id> lookup: a slow request found via a
+// latency exemplar is greppable in the ring by its TraceID.
+func (r *FlightRecorder) WriteJSONFilter(w io.Writer, keep func(*Trace) bool) error {
+	entries := r.Snapshot()
+	if keep != nil {
+		kept := entries[:0]
+		for _, t := range entries {
+			if keep(t) {
+				kept = append(kept, t)
+			}
+		}
+		entries = kept
+	}
+	dump := flightDump{Total: r.Total(), Entries: entries}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(dump)

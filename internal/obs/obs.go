@@ -114,6 +114,19 @@ type Trace struct {
 	Culprit string  `json:"culprit,omitempty"`
 	Spans   []*Span `json:"spans"`
 
+	// Ctx is the trace's W3C span context — the TraceID shared with the
+	// caller (or minted at the boundary), the root span's SpanID, and
+	// the sampling verdict. Zero for purely local traces (CLI runs).
+	Ctx SpanContext `json:"ctx,omitzero"`
+	// Parent is the caller's span context when the request arrived with
+	// a traceparent header: the exported root span's parentSpanId.
+	Parent SpanContext `json:"parent,omitzero"`
+	// Links are span links attached to the root span: the originating
+	// request contexts of async work (refine-pool re-searches,
+	// warm-start compiles), so an upgrade is attributable to the
+	// request that caused it without pretending to be nested under it.
+	Links []SpanContext `json:"links,omitempty"`
+
 	// Tail is the bounded tail of the scheduler's event stream,
 	// attached by the producer for failed or degraded runs only (the
 	// flight recorder's retention rule). Elements are sched.Event

@@ -51,6 +51,20 @@ type series struct {
 	counts    []float64 // histogram: per-bucket (cumulative at render)
 	sum       float64
 	n         float64
+	// exemplars holds the most recent exemplar per bucket (histograms
+	// with ObserveExemplar callers only; lazily allocated). Exemplars
+	// are how a trace ID rides along with a latency histogram without
+	// becoming a label — labels index series (bounded cardinality),
+	// exemplars annotate samples (one per bucket, last-write-wins).
+	exemplars []promExemplar
+}
+
+// promExemplar is one OpenMetrics-style exemplar: a single label pair
+// (trace_id for this codebase) and the observed value.
+type promExemplar struct {
+	key, val string
+	obs      float64
+	set      bool
 }
 
 // register adds a family, panicking on redefinition — metric names are
@@ -164,6 +178,31 @@ func (f *Family) Observe(v float64, labelVals ...string) {
 	f.r.mu.Unlock()
 }
 
+// ObserveExemplar is Observe plus an exemplar: the (exKey, exVal) pair
+// — trace_id and its hex value on the latency families — is attached
+// to the bucket the observation lands in, replacing that bucket's
+// previous exemplar. The pair annotates the rendered bucket line in
+// OpenMetrics exemplar syntax; it never becomes a series label, which
+// is what keeps trace IDs out of the cardinality budget. An empty
+// exVal degrades to a plain Observe.
+func (f *Family) ObserveExemplar(v float64, exKey, exVal string, labelVals ...string) {
+	if exVal == "" {
+		f.Observe(v, labelVals...)
+		return
+	}
+	f.r.mu.Lock()
+	s := f.at(labelVals)
+	i := sort.SearchFloat64s(f.buckets, v)
+	s.counts[i]++
+	s.sum += v
+	s.n++
+	if s.exemplars == nil {
+		s.exemplars = make([]promExemplar, len(f.buckets)+1)
+	}
+	s.exemplars[i] = promExemplar{key: exKey, val: exVal, obs: v, set: true}
+	f.r.mu.Unlock()
+}
+
 // Value returns a series' current value (counters and gauges; the
 // count for histograms). Zero for a never-touched series.
 func (f *Family) Value(labelVals ...string) float64 {
@@ -204,12 +243,14 @@ func (r *Registry) WriteText(w io.Writer) error {
 				cum := 0.0
 				for i, bound := range f.buckets {
 					cum += s.counts[i]
-					fmt.Fprintf(&b, "%s_bucket%s %s\n", f.name,
-						labelStr(f.labels, s.labelVals, "le", formatFloat(bound)), formatFloat(cum))
+					fmt.Fprintf(&b, "%s_bucket%s %s%s\n", f.name,
+						labelStr(f.labels, s.labelVals, "le", formatFloat(bound)), formatFloat(cum),
+						exemplarStr(s.exemplars, i))
 				}
 				cum += s.counts[len(f.buckets)]
-				fmt.Fprintf(&b, "%s_bucket%s %s\n", f.name,
-					labelStr(f.labels, s.labelVals, "le", "+Inf"), formatFloat(cum))
+				fmt.Fprintf(&b, "%s_bucket%s %s%s\n", f.name,
+					labelStr(f.labels, s.labelVals, "le", "+Inf"), formatFloat(cum),
+					exemplarStr(s.exemplars, len(f.buckets)))
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(s.sum))
 				fmt.Fprintf(&b, "%s_count%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(cum))
 				continue
@@ -219,6 +260,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplarStr renders a bucket's exemplar in OpenMetrics syntax
+// (" # {k=\"v\"} value"), or "" when the bucket has none.
+func exemplarStr(exemplars []promExemplar, i int) string {
+	if i >= len(exemplars) || !exemplars[i].set {
+		return ""
+	}
+	e := exemplars[i]
+	return fmt.Sprintf(" # {%s=%q} %s", e.key, e.val, formatFloat(e.obs))
 }
 
 // labelStr renders a label set (plus one optional extra pair, used for

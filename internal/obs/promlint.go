@@ -18,7 +18,17 @@ import (
 var (
 	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// traceIDishRe matches values shaped like W3C trace (32 hex) or
+	// span (16 hex) IDs — the canonical unbounded-cardinality label
+	// mistake. Such values belong in exemplars, never in labels.
+	traceIDishRe = regexp.MustCompile(`^[0-9a-f]{16}([0-9a-f]{16})?$`)
 )
+
+// forbiddenLabelNames are series label names that always indicate a
+// per-request identifier leaking into the label space.
+var forbiddenLabelNames = map[string]bool{
+	"trace_id": true, "span_id": true, "traceparent": true, "request_id": true,
+}
 
 // promFamily is the linter's view of one declared family.
 type promFamily struct {
@@ -85,7 +95,7 @@ func LintExposition(r io.Reader) []error {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, exemplar, err := parseSample(line)
 		if err != nil {
 			fail(n, "%v", err)
 			continue
@@ -99,11 +109,24 @@ func LintExposition(r io.Reader) []error {
 		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
 			fail(n, "sample %q has unparseable value %q", name, value)
 		}
+		if exemplar != "" {
+			if !strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_total") {
+				fail(n, "sample %q carries an exemplar; exemplars are only valid on _bucket and _total samples", name)
+			} else if err := lintExemplar(exemplar); err != nil {
+				fail(n, "sample %q exemplar: %v", name, err)
+			}
+		}
 		var le string
 		var rest []string
 		for _, kv := range labels {
 			if !labelNameRe.MatchString(kv[0]) {
 				fail(n, "sample %q has invalid label name %q", name, kv[0])
+			}
+			if forbiddenLabelNames[kv[0]] {
+				fail(n, "sample %q uses per-request identifier %q as a label; trace correlation belongs in exemplars", name, kv[0])
+			}
+			if kv[0] != "le" && traceIDishRe.MatchString(kv[1]) {
+				fail(n, "sample %q label %s=%q looks like a trace/span ID — unbounded cardinality; use an exemplar", name, kv[0], kv[1])
 			}
 			if kv[0] == "le" && strings.HasSuffix(name, "_bucket") {
 				le = kv[1]
@@ -163,77 +186,129 @@ func lookupFamily(fams map[string]*promFamily, name string) (*promFamily, string
 	return nil, ""
 }
 
-// parseSample splits one sample line into name, label pairs, and the
-// value text.
-func parseSample(line string) (name string, labels [][2]string, value string, err error) {
+// parseSample splits one sample line into name, label pairs, the value
+// text, and (when present) the OpenMetrics exemplar section following
+// "#". The '#' separator is unambiguous here: it can only appear inside
+// a quoted label value, and the label set has already been consumed by
+// the time the tail is scanned.
+func parseSample(line string) (name string, labels [][2]string, value, exemplar string, err error) {
 	rest := line
 	i := strings.IndexAny(rest, "{ ")
 	if i < 0 {
-		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		return "", nil, "", "", fmt.Errorf("malformed sample %q", line)
 	}
 	name = rest[:i]
 	if !metricNameRe.MatchString(name) {
-		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+		return "", nil, "", "", fmt.Errorf("invalid metric name %q", name)
 	}
 	rest = rest[i:]
 	if rest[0] == '{' {
-		end := -1
-		inQuote := false
-		for j := 1; j < len(rest); j++ {
-			switch {
-			case inQuote && rest[j] == '\\':
-				j++
-			case rest[j] == '"':
-				inQuote = !inQuote
-			case !inQuote && rest[j] == '}':
-				end = j
-			}
-			if end >= 0 {
-				break
-			}
+		labels, rest, err = parseLabelSet(rest)
+		if err != nil {
+			return "", nil, "", "", fmt.Errorf("%v in %q", err, line)
 		}
-		if end < 0 {
-			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
-		}
-		body := rest[1:end]
-		rest = rest[end+1:]
-		for len(body) > 0 {
-			eq := strings.Index(body, "=")
-			if eq < 0 {
-				return "", nil, "", fmt.Errorf("malformed label in %q", line)
-			}
-			lname := strings.TrimSpace(body[:eq])
-			body = strings.TrimSpace(body[eq+1:])
-			if len(body) == 0 || body[0] != '"' {
-				return "", nil, "", fmt.Errorf("unquoted label value in %q", line)
-			}
-			closeQ := -1
-			for j := 1; j < len(body); j++ {
-				if body[j] == '\\' {
-					j++
-					continue
-				}
-				if body[j] == '"' {
-					closeQ = j
-					break
-				}
-			}
-			if closeQ < 0 {
-				return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
-			}
-			lval, uerr := strconv.Unquote(body[:closeQ+1])
-			if uerr != nil {
-				return "", nil, "", fmt.Errorf("bad label value escaping in %q", line)
-			}
-			labels = append(labels, [2]string{lname, lval})
-			body = strings.TrimSpace(body[closeQ+1:])
-			body = strings.TrimPrefix(body, ",")
-			body = strings.TrimSpace(body)
+	}
+	if h := strings.Index(rest, "#"); h >= 0 {
+		exemplar = strings.TrimSpace(rest[h+1:])
+		rest = rest[:h]
+		if exemplar == "" {
+			return "", nil, "", "", fmt.Errorf("empty exemplar section in %q", line)
 		}
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
-		return "", nil, "", fmt.Errorf("malformed sample tail in %q", line)
+		return "", nil, "", "", fmt.Errorf("malformed sample tail in %q", line)
 	}
-	return name, labels, fields[0], nil
+	return name, labels, fields[0], exemplar, nil
+}
+
+// parseLabelSet parses a leading {k="v",...} group, returning the pairs
+// and the remainder after the closing brace. s must start with '{'.
+func parseLabelSet(s string) (labels [][2]string, rest string, err error) {
+	end := -1
+	inQuote := false
+	for j := 1; j < len(s); j++ {
+		switch {
+		case inQuote && s[j] == '\\':
+			j++
+		case s[j] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[j] == '}':
+			end = j
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, "", fmt.Errorf("unterminated label set")
+	}
+	body := s[1:end]
+	rest = s[end+1:]
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label")
+		}
+		lname := strings.TrimSpace(body[:eq])
+		body = strings.TrimSpace(body[eq+1:])
+		if len(body) == 0 || body[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value")
+		}
+		closeQ := -1
+		for j := 1; j < len(body); j++ {
+			if body[j] == '\\' {
+				j++
+				continue
+			}
+			if body[j] == '"' {
+				closeQ = j
+				break
+			}
+		}
+		if closeQ < 0 {
+			return nil, "", fmt.Errorf("unterminated label value")
+		}
+		lval, uerr := strconv.Unquote(body[:closeQ+1])
+		if uerr != nil {
+			return nil, "", fmt.Errorf("bad label value escaping")
+		}
+		labels = append(labels, [2]string{lname, lval})
+		body = strings.TrimSpace(body[closeQ+1:])
+		body = strings.TrimPrefix(body, ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, rest, nil
+}
+
+// lintExemplar validates one exemplar section (the text after "#"):
+// OpenMetrics syntax {label="value",...} value [timestamp], label
+// names legal, the combined label length within the spec's 128-rune
+// cap, and the exemplar value parseable.
+func lintExemplar(s string) error {
+	if s == "" || s[0] != '{' {
+		return fmt.Errorf("must start with a {label} set, got %q", s)
+	}
+	labels, rest, err := parseLabelSet(s)
+	if err != nil {
+		return err
+	}
+	runes := 0
+	for _, kv := range labels {
+		if !labelNameRe.MatchString(kv[0]) {
+			return fmt.Errorf("invalid exemplar label name %q", kv[0])
+		}
+		runes += len([]rune(kv[0])) + len([]rune(kv[1]))
+	}
+	if runes > 128 {
+		return fmt.Errorf("exemplar label set is %d runes, above the 128-rune cap", runes)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return fmt.Errorf("malformed exemplar tail %q", rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("unparseable exemplar value %q", fields[0])
+	}
+	return nil
 }

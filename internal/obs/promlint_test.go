@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAcceptsExemplars(t *testing.T) {
+	good := "# TYPE app_h histogram\n" +
+		"app_h_bucket{le=\"1\"} 1 # {trace_id=\"0123456789abcdef0123456789abcdef\"} 0.4\n" +
+		"app_h_bucket{le=\"+Inf\"} 2 # {trace_id=\"0123456789abcdef0123456789abcdef\"} 1.5\n" +
+		"app_h_sum 3\napp_h_count 2\n" +
+		"# TYPE app_x_total counter\n" +
+		"app_x_total 5 # {trace_id=\"0123456789abcdef0123456789abcdef\"} 1 1700000000.5\n"
+	if errs := LintExposition(strings.NewReader(good)); len(errs) > 0 {
+		t.Fatalf("lint rejected valid exemplars: %v", errs)
+	}
+}
+
+func TestLintRejectsBadExemplars(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"exemplar on gauge", "# TYPE app_g gauge\napp_g 1 # {trace_id=\"ab\"} 1\n"},
+		{"exemplar on sum", "# TYPE app_h histogram\napp_h_bucket{le=\"+Inf\"} 1\napp_h_sum 1 # {trace_id=\"ab\"} 1\napp_h_count 1\n"},
+		{"no label set", "# TYPE app_x_total counter\napp_x_total 1 # 0.5\n"},
+		{"missing value", "# TYPE app_x_total counter\napp_x_total 1 # {trace_id=\"ab\"}\n"},
+		{"bad value", "# TYPE app_x_total counter\napp_x_total 1 # {trace_id=\"ab\"} banana\n"},
+		{"bad label name", "# TYPE app_x_total counter\napp_x_total 1 # {9id=\"ab\"} 1\n"},
+		{"unterminated labels", "# TYPE app_x_total counter\napp_x_total 1 # {trace_id=\"ab 1\n"},
+		{"empty after hash", "# TYPE app_x_total counter\napp_x_total 1 #\n"},
+		{"trailing junk", "# TYPE app_x_total counter\napp_x_total 1 # {trace_id=\"ab\"} 1 2 3\n"},
+		{"over 128 runes", "# TYPE app_x_total counter\napp_x_total 1 # {trace_id=\"" +
+			strings.Repeat("a", 130) + "\"} 1\n"},
+	}
+	for _, c := range cases {
+		if errs := LintExposition(strings.NewReader(c.in)); len(errs) == 0 {
+			t.Errorf("%s: lint accepted bad exemplar:\n%s", c.name, c.in)
+		}
+	}
+}
+
+// TestLintRejectsUnboundedCardinality pins the rule that keeps trace
+// IDs out of the label space: they belong in exemplars, where they
+// don't mint a new series per request.
+func TestLintRejectsUnboundedCardinality(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"trace_id label name", "# TYPE app_x_total counter\napp_x_total{trace_id=\"x\"} 1\n"},
+		{"span_id label name", "# TYPE app_x_total counter\napp_x_total{span_id=\"x\"} 1\n"},
+		{"traceparent label name", "# TYPE app_x_total counter\napp_x_total{traceparent=\"x\"} 1\n"},
+		{"request_id label name", "# TYPE app_x_total counter\napp_x_total{request_id=\"x\"} 1\n"},
+		{"32-hex label value", "# TYPE app_x_total counter\napp_x_total{loop=\"0123456789abcdef0123456789abcdef\"} 1\n"},
+		{"16-hex label value", "# TYPE app_x_total counter\napp_x_total{loop=\"0123456789abcdef\"} 1\n"},
+	}
+	for _, c := range cases {
+		if errs := LintExposition(strings.NewReader(c.in)); len(errs) == 0 {
+			t.Errorf("%s: lint accepted unbounded-cardinality labels:\n%s", c.name, c.in)
+		}
+	}
+	// le values on buckets are hex-ish sometimes (e.g. le="1e16" is not,
+	// but make sure normal short values and le stay legal).
+	good := "# TYPE app_h histogram\napp_h_bucket{le=\"0.5\"} 1\napp_h_bucket{le=\"+Inf\"} 1\n" +
+		"app_h_sum 1\napp_h_count 1\n" +
+		"# TYPE app_x_total counter\napp_x_total{scheduler=\"slack\"} 1\n"
+	if errs := LintExposition(strings.NewReader(good)); len(errs) > 0 {
+		t.Fatalf("lint rejected bounded labels: %v", errs)
+	}
+}
+
+// TestObserveExemplarRendersLintClean checks the full loop: a histogram
+// fed through ObserveExemplar writes an exposition the linter accepts,
+// with the exemplar attached to the right bucket lines.
+func TestObserveExemplarRendersLintClean(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("app_lat_seconds", "Latency.", []float64{0.1, 1}, "outcome")
+	h.ObserveExemplar(0.05, "trace_id", "0123456789abcdef0123456789abcdef", "ok")
+	h.ObserveExemplar(0.5, "trace_id", "fedcba9876543210fedcba9876543210", "ok")
+	h.ObserveExemplar(2, "trace_id", "", "ok") // unsampled: no exemplar
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `le="0.1"} 1 # {trace_id="0123456789abcdef0123456789abcdef"} 0.05`) {
+		t.Fatalf("first bucket missing its exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `le="1"} 2 # {trace_id="fedcba9876543210fedcba9876543210"} 0.5`) {
+		t.Fatalf("second bucket missing its exemplar:\n%s", out)
+	}
+	if strings.Contains(out, `le="+Inf"} 3 #`) {
+		t.Fatalf("unsampled observation grew an exemplar:\n%s", out)
+	}
+	if errs := LintExposition(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("ObserveExemplar output fails lint: %v\n%s", errs, out)
+	}
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks the service's health against quantitative targets: a
+// success-rate objective and a latency objective, each evaluated over
+// rolling 5-minute and 1-hour windows, with the burn rate — how fast
+// the error budget is being consumed relative to its sustainable pace —
+// computed per window. The multi-window rule (both the short AND the
+// long window burning hot) is what /readyz keys off: the short window
+// makes the verdict responsive, the long window keeps a brief blip from
+// flapping readiness.
+//
+// The implementation is a ring of per-second buckets covering the long
+// window. Record is O(1) under one mutex; Snapshot walks the ring
+// (3600 buckets) per call, which is scrape-rate work, not request-rate
+// work.
+
+// Window lengths, fixed by the multi-window burn-rate design.
+const (
+	SLOShortWindow = 5 * time.Minute
+	SLOLongWindow  = time.Hour
+)
+
+// SLOConfig sets the objectives; the zero value gets defaults.
+type SLOConfig struct {
+	// Objective is the success-rate target in (0,1); default 0.99.
+	// The error budget is 1-Objective.
+	Objective float64
+	// LatencyObjective is the per-request latency target; requests
+	// slower than this consume the latency error budget (same budget
+	// size as the success objective). Default 500ms.
+	LatencyObjective time.Duration
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = 0.99
+	}
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 500 * time.Millisecond
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// sloBucket is one second of observations.
+type sloBucket struct {
+	sec   int64 // unix second this bucket currently holds
+	total uint32
+	errs  uint32
+	slow  uint32
+}
+
+// SLO is the tracker. Create with NewSLO; methods are safe for
+// concurrent use.
+type SLO struct {
+	mu      sync.Mutex
+	cfg     SLOConfig
+	buckets []sloBucket
+}
+
+// NewSLO returns a tracker with the given objectives.
+func NewSLO(cfg SLOConfig) *SLO {
+	return &SLO{
+		cfg:     cfg.withDefaults(),
+		buckets: make([]sloBucket, int(SLOLongWindow/time.Second)),
+	}
+}
+
+// Record folds one finished request in: ok is the success verdict
+// (the server counts 5xx as failures — 4xx are the caller's fault and
+// spend no budget), latency the request's wall time.
+func (s *SLO) Record(ok bool, latency time.Duration) {
+	if s == nil {
+		return
+	}
+	sec := s.cfg.now().Unix()
+	s.mu.Lock()
+	b := &s.buckets[int(sec%int64(len(s.buckets)))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	if !ok {
+		b.errs++
+	}
+	if latency > s.cfg.LatencyObjective {
+		b.slow++
+	}
+	s.mu.Unlock()
+}
+
+// SLOWindow is one window's aggregate.
+type SLOWindow struct {
+	// Window is the window length in seconds (300 or 3600).
+	Window int64 `json:"window_seconds"`
+	// Total / Errors / Slow are the raw counts inside the window.
+	Total  int64 `json:"total"`
+	Errors int64 `json:"errors"`
+	Slow   int64 `json:"slow"`
+	// SuccessRate is 1 - Errors/Total (1 when the window is empty: no
+	// traffic has violated nothing).
+	SuccessRate float64 `json:"success_rate"`
+	// ErrorBurnRate is (Errors/Total) / (1-Objective): 1.0 means the
+	// error budget is being spent exactly at the sustainable pace, 10
+	// means ten times too fast. 0 for an empty window.
+	ErrorBurnRate float64 `json:"error_burn_rate"`
+	// LatencyBurnRate is the same computation over the slow fraction.
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// BurnRate is the window's governing burn: the worse of the error and
+// latency burns — the number /readyz compares against its threshold.
+func (w SLOWindow) BurnRate() float64 {
+	if w.ErrorBurnRate > w.LatencyBurnRate {
+		return w.ErrorBurnRate
+	}
+	return w.LatencyBurnRate
+}
+
+// SLOSnapshot is the full tracker state, the /debug/slo payload.
+type SLOSnapshot struct {
+	Objective          float64   `json:"objective"`
+	LatencyObjectiveMS float64   `json:"latency_objective_ms"`
+	Short              SLOWindow `json:"short"`
+	Long               SLOWindow `json:"long"`
+}
+
+// Snapshot aggregates both windows at the current instant.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.now().Unix()
+	shortCut := now - int64(SLOShortWindow/time.Second)
+	var short, long SLOWindow
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		// A bucket is live if its stamped second is inside the long
+		// window ending now; stale ring slots still hold older seconds.
+		if b.sec <= now-int64(len(s.buckets)) || b.sec > now {
+			continue
+		}
+		long.Total += int64(b.total)
+		long.Errors += int64(b.errs)
+		long.Slow += int64(b.slow)
+		if b.sec > shortCut {
+			short.Total += int64(b.total)
+			short.Errors += int64(b.errs)
+			short.Slow += int64(b.slow)
+		}
+	}
+	budget := 1 - s.cfg.Objective
+	finish := func(w *SLOWindow, secs int64) {
+		w.Window = secs
+		w.SuccessRate = 1
+		if w.Total > 0 {
+			w.SuccessRate = 1 - float64(w.Errors)/float64(w.Total)
+			w.ErrorBurnRate = (float64(w.Errors) / float64(w.Total)) / budget
+			w.LatencyBurnRate = (float64(w.Slow) / float64(w.Total)) / budget
+		}
+	}
+	finish(&short, int64(SLOShortWindow/time.Second))
+	finish(&long, int64(SLOLongWindow/time.Second))
+	return SLOSnapshot{
+		Objective:          s.cfg.Objective,
+		LatencyObjectiveMS: float64(s.cfg.LatencyObjective.Microseconds()) / 1000,
+		Short:              short,
+		Long:               long,
+	}
+}
+
+// Burning reports whether the multi-window rule fires at the given
+// threshold: both the short and the long window burning above it. A
+// threshold <= 0 never fires.
+func (s *SLO) Burning(threshold float64) bool {
+	if s == nil || threshold <= 0 {
+		return false
+	}
+	snap := s.Snapshot()
+	return snap.Short.BurnRate() >= threshold && snap.Long.BurnRate() >= threshold
+}

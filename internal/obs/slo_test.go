@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the SLO ring deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestSLOWindowsAndBurnRates(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSLO(SLOConfig{Objective: 0.99, LatencyObjective: 100 * time.Millisecond, now: clk.Now})
+	for i := 0; i < 98; i++ {
+		s.Record(true, 10*time.Millisecond)
+	}
+	s.Record(false, 10*time.Millisecond)
+	s.Record(true, 250*time.Millisecond) // slow but successful
+	snap := s.Snapshot()
+	for _, w := range []SLOWindow{snap.Short, snap.Long} {
+		if w.Total != 100 || w.Errors != 1 || w.Slow != 1 {
+			t.Fatalf("window counts %+v", w)
+		}
+		if !approx(w.SuccessRate, 0.99) {
+			t.Fatalf("success rate %v", w.SuccessRate)
+		}
+		// error rate 0.01 over budget 0.01 = burning at exactly pace 1.
+		if !approx(w.ErrorBurnRate, 1) || !approx(w.LatencyBurnRate, 1) {
+			t.Fatalf("burn rates %+v", w)
+		}
+		if !approx(w.BurnRate(), 1) {
+			t.Fatalf("governing burn %v", w.BurnRate())
+		}
+	}
+	if snap.Objective != 0.99 || snap.LatencyObjectiveMS != 100 {
+		t.Fatalf("snapshot config %+v", snap)
+	}
+}
+
+func TestSLOEmptyWindowIsHealthy(t *testing.T) {
+	s := NewSLO(SLOConfig{now: newFakeClock().Now})
+	snap := s.Snapshot()
+	if snap.Short.SuccessRate != 1 || snap.Long.BurnRate() != 0 {
+		t.Fatalf("empty tracker unhealthy: %+v", snap)
+	}
+	if s.Burning(1) {
+		t.Fatal("empty tracker burning")
+	}
+}
+
+// TestSLOMultiWindowRule is the flap-guard: a fresh error burst pushes
+// the 5-minute window hot, but an hour of earlier successes keeps the
+// 1-hour window cool, so Burning stays false until the burst has eaten
+// real budget at the hour scale too.
+func TestSLOMultiWindowRule(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSLO(SLOConfig{Objective: 0.99, now: clk.Now})
+	// 50 minutes of clean traffic, spread so it stays inside the long
+	// window but outside the short one.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 20; j++ {
+			s.Record(true, time.Millisecond)
+		}
+		clk.Advance(time.Minute)
+	}
+	// A hot burst right now: 20 failures.
+	for i := 0; i < 20; i++ {
+		s.Record(false, time.Millisecond)
+	}
+	snap := s.Snapshot()
+	if snap.Short.BurnRate() < 10 {
+		t.Fatalf("short window should be hot, burn %v", snap.Short.BurnRate())
+	}
+	// Long window: 20 errors over 1020 requests ≈ 2% error rate → burn ~2.
+	if snap.Long.BurnRate() >= 10 {
+		t.Fatalf("long window should still be cool, burn %v", snap.Long.BurnRate())
+	}
+	if s.Burning(10) {
+		t.Fatal("multi-window rule fired on a blip")
+	}
+	// Sustained burn: keep failing for 10 more minutes.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 100; j++ {
+			s.Record(false, time.Millisecond)
+		}
+		clk.Advance(time.Minute)
+	}
+	if !s.Burning(10) {
+		snap = s.Snapshot()
+		t.Fatalf("sustained burn not detected: short %v long %v",
+			snap.Short.BurnRate(), snap.Long.BurnRate())
+	}
+}
+
+func TestSLORingRecyclesStaleBuckets(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSLO(SLOConfig{now: clk.Now})
+	s.Record(false, time.Millisecond)
+	clk.Advance(SLOLongWindow + time.Second)
+	// The old error's bucket second is now outside the long window; a
+	// fresh success in the recycled slot must not inherit it.
+	s.Record(true, time.Millisecond)
+	snap := s.Snapshot()
+	if snap.Long.Total != 1 || snap.Long.Errors != 0 {
+		t.Fatalf("stale bucket leaked: %+v", snap.Long)
+	}
+}
+
+func TestSLONilAndThresholdGuards(t *testing.T) {
+	var s *SLO
+	s.Record(true, time.Second) // must not panic
+	if s.Burning(1) {
+		t.Fatal("nil tracker burning")
+	}
+	if snap := s.Snapshot(); snap.Short.Total != 0 {
+		t.Fatalf("nil snapshot %+v", snap)
+	}
+	real := NewSLO(SLOConfig{now: newFakeClock().Now})
+	real.Record(false, time.Second)
+	if real.Burning(0) || real.Burning(-1) {
+		t.Fatal("threshold <= 0 must disable the check")
+	}
+}

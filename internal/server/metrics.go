@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -122,6 +124,43 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { inUse, _ := sched.ArenaStats(); return float64(inUse) })
 	r.CounterFunc("lsmsd_arena_recycled_total", "Scheduler scratch arenas returned to the pool since process start.",
 		func() float64 { _, recycled := sched.ArenaStats(); return float64(recycled) })
+
+	// Build identity: the conventional *_build_info constant-1 gauge
+	// whose labels say what is running where.
+	obs.RegisterBuildInfo(r, "lsmsd_build_info",
+		"Build identity of the running lsmsd binary (constant 1; the labels carry the information).",
+		[]string{"machines"}, []string{strconv.Itoa(len(machine.Machines()))})
+
+	// Trace exporter health. The closures read s.exporter at scrape time
+	// (Stats is nil-safe), so a tracing-off daemon scrapes zeros.
+	r.CounterFunc("lsmsd_trace_exported_total", "Traces written to the spool or posted to the collector.",
+		func() float64 { return float64(s.exporter.Stats().Exported) })
+	r.CounterFunc("lsmsd_trace_dropped_total", "Sampled traces dropped because the export queue was full.",
+		func() float64 { return float64(s.exporter.Stats().Dropped) })
+	r.CounterFunc("lsmsd_trace_export_failures_total", "Traces dequeued but not delivered (spool write or collector POST failed).",
+		func() float64 { return float64(s.exporter.Stats().Failed) })
+
+	// SLO families, derived from the rolling multi-window tracker. Each
+	// GaugeFunc snapshots the ring at scrape time — scrape-rate work.
+	r.GaugeFunc("lsmsd_slo_objective", "Configured success-rate objective.",
+		func() float64 { return s.slo.Snapshot().Objective })
+	r.GaugeFunc("lsmsd_slo_requests_1h", "Requests observed by the SLO tracker in the last hour.",
+		func() float64 { return float64(s.slo.Snapshot().Long.Total) })
+	r.GaugeFunc("lsmsd_slo_errors_1h", "Budget-spending (5xx) responses in the last hour.",
+		func() float64 { return float64(s.slo.Snapshot().Long.Errors) })
+	r.GaugeFunc("lsmsd_slo_success_ratio_5m", "Success ratio over the 5-minute window (1 when the window is empty).",
+		func() float64 { return s.slo.Snapshot().Short.SuccessRate })
+	r.GaugeFunc("lsmsd_slo_burn_rate_5m", "Error-budget burn rate over the 5-minute window (1 = sustainable pace; worse of error and latency burns).",
+		func() float64 { return s.slo.Snapshot().Short.BurnRate() })
+	r.GaugeFunc("lsmsd_slo_burn_rate_1h", "Error-budget burn rate over the 1-hour window.",
+		func() float64 { return s.slo.Snapshot().Long.BurnRate() })
+	r.GaugeFunc("lsmsd_slo_ready", "The /readyz verdict: 1 ready, 0 degraded (draining, burning, or wedged refine queue).",
+		func() float64 {
+			if ok, _ := s.ready(); ok {
+				return 1
+			}
+			return 0
+		})
 	return m
 }
 
@@ -147,10 +186,12 @@ func (m *metrics) storeMiss() {
 }
 
 // compileDone records the labelled counter and latency histogram for
-// one finished compilation.
-func (m *metrics) compileDone(scheduler, outcome string, seconds float64) {
+// one finished compilation. traceID, when non-empty, becomes the
+// exemplar on the histogram bucket the observation lands in — the
+// trace-correlation channel that never touches label cardinality.
+func (m *metrics) compileDone(scheduler, outcome string, seconds float64, traceID string) {
 	m.compiles.Inc(scheduler, outcome)
-	m.compileSeconds.Observe(seconds, scheduler, outcome)
+	m.compileSeconds.ObserveExemplar(seconds, "trace_id", traceID, scheduler, outcome)
 }
 
 // handleMetrics renders the registry and the folded scheduler event

@@ -42,6 +42,11 @@ type refineJob struct {
 	loopName  string
 	rawReq    []byte // owned copy of the request body
 	baseBody  []byte // served response bytes (immutable by outcome contract)
+	// link is the originating request's span context. The refinement runs
+	// under a fresh TraceID — it outlives the request and belongs to no
+	// caller — but its trace carries a span link back here, so a store
+	// upgrade is attributable to the request that caused it.
+	link obs.SpanContext
 }
 
 // refiner is the background worker pool. Workers honor ctx — Close
@@ -112,6 +117,14 @@ func (r *refiner) process(dec *wire.Scratch, job refineJob) {
 	s.m.refineStarted.Inc()
 	tr := obs.NewTrace(job.reqID, job.loopName)
 	tr.Scheduler = string(core.SchedExact)
+	tr.Ctx = obs.SpanContext{
+		TraceID: obs.NewTraceID(),
+		SpanID:  obs.NewSpanID(),
+		Sampled: job.link.Sampled, // inherit the originating verdict
+	}
+	if !job.link.IsZero() {
+		tr.Links = []obs.SpanContext{job.link}
+	}
 	sp := tr.Start("refine")
 
 	outcome := "exhausted"
@@ -119,6 +132,7 @@ func (r *refiner) process(dec *wire.Scratch, job refineJob) {
 		sp.End(outcome)
 		tr.Finish(outcome)
 		s.flight.Record(tr)
+		s.exportTrace(tr)
 		switch outcome {
 		case "improved":
 			s.m.refineImproved.Inc()

@@ -47,6 +47,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,30 @@ type Config struct {
 	// drops new jobs (the served record stays valid, just unrefined).
 	// Default 256.
 	RefineQueue int
+	// TraceDir, when non-empty, spools sampled request traces to disk as
+	// lsms-trace/1 JSON documents, one file per trace (obs.Exporter).
+	TraceDir string
+	// TraceCollector, when non-empty, POSTs sampled traces to an HTTP
+	// collector endpoint instead. TraceDir wins when both are set.
+	TraceCollector string
+	// TraceSample is the deterministic head-sampling rate for locally
+	// rooted traces: 1-in-N by trace ID. 1 (the default) samples every
+	// trace; negative disables local sampling. A request arriving with a
+	// sampled traceparent is always sampled — the caller already paid
+	// for the trace, this hop completes it.
+	TraceSample int
+	// TraceQueue bounds the trace exporter's backlog; default 256. A
+	// full queue drops the trace and counts the drop — exporting never
+	// blocks the request path.
+	TraceQueue int
+	// SLOObjective is the success-rate objective in (0,1); default 0.99.
+	SLOObjective float64
+	// SLOLatency is the per-request latency objective; default 500ms.
+	SLOLatency time.Duration
+	// SLOBurnThreshold is the error-budget burn rate above which /readyz
+	// degrades (both the 5-minute and 1-hour windows must exceed it, the
+	// multi-window rule); default 10, negative disables the check.
+	SLOBurnThreshold float64
 	// Logger, when non-nil, receives one structured record per compile
 	// request (request ID, loop, scheduler, status, cache tier, outcome,
 	// duration).
@@ -156,6 +181,12 @@ func (c Config) withDefaults() Config {
 	if c.RefineQueue <= 0 {
 		c.RefineQueue = 256
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
+	if c.SLOBurnThreshold == 0 {
+		c.SLOBurnThreshold = 10
+	}
 	return c
 }
 
@@ -171,6 +202,8 @@ type Server struct {
 	refine    *refiner // nil unless Config.Refine
 	sm        *sched.SafeMetrics
 	flight    *obs.FlightRecorder
+	exporter  *obs.Exporter // nil unless tracing is configured
+	slo       *obs.SLO
 	m         *metrics
 	logger    *slog.Logger
 	started   time.Time
@@ -221,6 +254,20 @@ func New(cfg Config) (*Server, error) {
 			s.store = store.NewTiered(mem)
 		}
 	}
+	if cfg.TraceDir != "" || cfg.TraceCollector != "" {
+		exp, err := obs.NewExporter(obs.ExporterConfig{
+			Dir: cfg.TraceDir, URL: cfg.TraceCollector, Queue: cfg.TraceQueue,
+		})
+		if err != nil {
+			s.store.Close()
+			return nil, err
+		}
+		s.exporter = exp
+	}
+	s.slo = obs.NewSLO(obs.SLOConfig{
+		Objective:        cfg.SLOObjective,
+		LatencyObjective: cfg.SLOLatency,
+	})
 	s.m = newMetrics(s)
 	if cfg.Refine {
 		s.refine = newRefiner(s)
@@ -230,6 +277,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/schedulers", s.handleSchedulers)
 	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
@@ -266,6 +314,9 @@ func (s *Server) Close() error {
 		if s.refine != nil {
 			s.refine.close()
 		}
+		// The exporter closes after the refiner (whose last traces it
+		// drains) and before the store.
+		s.exporter.Close()
 		s.closeErr = s.store.Close()
 	})
 	return s.closeErr
@@ -324,10 +375,90 @@ func (s *Server) logRequest(reqID, loop, scheduler string, status int, cache, ou
 	)
 }
 
+// traceContext resolves the request's W3C trace context: the caller's
+// traceparent when present and valid (an invalid header starts a fresh
+// trace, per spec — it must never break the request), a fresh TraceID
+// otherwise, and always a server-minted root SpanID. The sampling
+// verdict is the caller's flag OR the deterministic 1-in-N head sample.
+func (s *Server) traceContext(r *http.Request) (sctx, parent obs.SpanContext) {
+	if h := r.Header.Get("traceparent"); h != "" {
+		if sc, err := obs.ParseTraceparent(h); err == nil {
+			parent = sc
+		}
+	}
+	sctx = obs.SpanContext{TraceID: parent.TraceID, SpanID: obs.NewSpanID()}
+	if sctx.TraceID.IsZero() {
+		sctx.TraceID = obs.NewTraceID()
+	}
+	sctx.Sampled = parent.Sampled || obs.Sample(sctx.TraceID, s.cfg.TraceSample)
+	return sctx, parent
+}
+
+// statusWriter captures the response status for the SLO tracker.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// exportTrace offers a finished trace to the exporter when the request
+// was sampled. Nil-safe on every axis.
+func (s *Server) exportTrace(tr *obs.Trace) {
+	if s.exporter != nil && tr != nil && tr.Ctx.Sampled {
+		s.exporter.Export(tr)
+	}
+}
+
+// serverTiming renders a finished trace's spans as a Server-Timing
+// header value (RFC 8941-ish: `name;dur=ms`, comma-separated), summing
+// spans that share a name — the per-stage latency breakdown a caller
+// sees without fetching the exported trace.
+func serverTiming(tr *obs.Trace) string {
+	if tr == nil || len(tr.Spans) == 0 {
+		return ""
+	}
+	var names []string
+	durs := map[string]time.Duration{}
+	for _, sp := range tr.Spans {
+		if _, ok := durs[sp.Name]; !ok {
+			names = append(names, sp.Name)
+		}
+		durs[sp.Name] += sp.Dur
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", n, float64(durs[n].Microseconds())/1000)
+	}
+	return b.String()
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	reqID := s.requestID(r)
+	sctx, parent := s.traceContext(r)
 	w.Header().Set("X-Request-Id", reqID)
+	// Echo the server's own span context so the caller can stitch this
+	// hop into its trace — and assert the TraceID it sent came through.
+	w.Header().Set("Traceparent", sctx.Traceparent())
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	defer func() {
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		// 5xx spend error budget; 4xx are the caller's fault and do not.
+		s.slo.Record(status < 500, time.Since(start))
+	}()
 	s.m.requests.Inc()
 	if !s.gate.enter() {
 		s.writeError(w, http.StatusServiceUnavailable, &wire.Error{
@@ -396,15 +527,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if tier > 0 {
 			label = "hit-disk"
 			s.m.storeHit()
+		} else {
+			s.m.cacheHit()
+		}
+		// Memory hits only pay for a trace when it will be exported; a
+		// deeper-tier hit did I/O, so it also leaves a flight-recorder
+		// entry unconditionally.
+		if tier > 0 || (s.exporter != nil && sctx.Sampled) {
 			tr := obs.NewTrace(reqID, loop.Name)
 			tr.Scheduler = schedName
+			tr.Ctx, tr.Parent = sctx, parent
 			sp := tr.Start("store-get")
 			sp.Int("tier", int64(tier)).Int("body_bytes", int64(len(rec.Body)))
 			sp.End(obs.OutcomeOK)
 			tr.Finish(obs.OutcomeOK)
-			s.flight.Record(tr)
-		} else {
-			s.m.cacheHit()
+			if tier > 0 {
+				s.flight.Record(tr)
+			}
+			s.exportTrace(tr)
+			if st := serverTiming(tr); st != "" {
+				w.Header().Set("Server-Timing", st)
+			}
 		}
 		if rec.Refined {
 			// Header only: the stored body already says refined, and the
@@ -424,6 +567,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.m.deduped.Inc()
 		select {
 		case <-c.done:
+			if s.exporter != nil && sctx.Sampled {
+				// The waiter's own trace: one span covering the wait, under
+				// the caller's TraceID (the leader's compile has its own).
+				tr := obs.NewTrace(reqID, loop.Name)
+				tr.Scheduler = schedName
+				tr.Ctx, tr.Parent = sctx, parent
+				sp := tr.Start("dedup-wait")
+				sp.End(obs.OutcomeOK)
+				tr.Finish(obs.OutcomeOK)
+				s.exportTrace(tr)
+			}
 			s.writeRaw(w, c.out.status, c.out.body, "dedup")
 			s.logRequest(reqID, loop.Name, schedName, c.out.status, "dedup", c.out.name, time.Since(start))
 		case <-r.Context().Done():
@@ -435,15 +589,21 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Tier 3: admission control, then a worker slot. admitAndCompile
-	// writes cacheable outcomes through the store itself.
-	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID, scr.tail)
+	// writes cacheable outcomes through the store itself, finishes the
+	// trace, and exports it when sampled.
+	tr := obs.NewTrace(reqID, loop.Name)
+	tr.Scheduler = schedName
+	tr.Ctx, tr.Parent = sctx, parent
+	out := s.admitAndCompile(r.Context(), norm, loop, schedName, hash, reqID, scr.tail, tr)
 	s.flights.finish(hash, c, out)
 	if s.refine != nil && out.cacheable && out.status == http.StatusOK &&
 		out.name == obs.OutcomeOK && schedName != string(core.SchedExact) {
 		// Background refinement rides on the cold compile that created the
 		// store record. The job owns a copy of the raw request (the decode
 		// scratch is pooled) and references the response bytes (immutable
-		// once published).
+		// once published). The request's span context rides along as the
+		// link target: the refine trace is caused by this request without
+		// being nested under it.
 		s.refine.enqueue(refineJob{
 			hash:      hash,
 			reqID:     reqID,
@@ -451,7 +611,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			loopName:  loop.Name,
 			rawReq:    append([]byte(nil), body...),
 			baseBody:  out.body,
+			link:      sctx,
 		})
+	}
+	if st := serverTiming(tr); st != "" {
+		w.Header().Set("Server-Timing", st)
 	}
 	s.writeRaw(w, out.status, out.body, "miss")
 	s.logRequest(reqID, loop.Name, schedName, out.status, "miss", out.name, time.Since(start))
@@ -517,8 +681,11 @@ func (t teeObserver) Event(e sched.Event) {
 // admitAndCompile runs the admission-controlled compilation and
 // serializes its outcome, recording the request's trace — spans from
 // every pipeline stage plus, for failed or degraded runs, the tail of
-// the scheduler event stream — into the flight recorder.
-func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash, reqID string, tail *sched.TailRecorder) outcome {
+// the scheduler event stream — into the flight recorder and, when the
+// trace is sampled, the exporter. The caller builds tr (stamped with
+// the request's span context); rejected or canceled-in-queue requests
+// return before the trace starts and leave it unfinished.
+func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *ir.Loop, schedName, hash, reqID string, tail *sched.TailRecorder, tr *obs.Trace) outcome {
 	s.m.queueDepth.Observe(float64(s.adm.waiting()))
 	if !s.adm.tryEnter() {
 		s.m.rejected.Inc()
@@ -535,8 +702,6 @@ func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *
 	}
 	defer s.adm.releaseWorker()
 
-	tr := obs.NewTrace(reqID, loop.Name)
-	tr.Scheduler = schedName
 	cfg := norm.Options.SchedConfig()
 	cfg.Budget.Deadline = s.effectiveDeadline(cfg.Budget.Deadline)
 	cfg.Observer = teeObserver{s.sm, tail}
@@ -565,7 +730,15 @@ func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *
 	}
 	tr.Finish(out.name)
 	s.flight.Record(tr)
-	s.m.compileDone(schedName, out.name, tr.Dur.Seconds())
+	s.exportTrace(tr)
+	exID := ""
+	if tr.Ctx.Sampled {
+		// The exemplar on the latency histogram points at a trace the
+		// exporter actually shipped — a dashboard bucket links straight to
+		// a spooled trace document.
+		exID = tr.Ctx.TraceID.String()
+	}
+	s.m.compileDone(schedName, out.name, tr.Dur.Seconds(), exID)
 	return out
 }
 
@@ -788,6 +961,43 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	}
 	body, _ := json.Marshal(out)
 	s.writeRaw(w, http.StatusOK, body, "")
+}
+
+// ready is the readiness verdict behind /readyz and lsmsd_slo_ready:
+// the server is unready when draining, when the SLO burn rate exceeds
+// the threshold in both windows, or when the refine queue is wedged
+// solid. Each of these degrades readiness while /healthz (liveness)
+// still answers 200 — the deploy orchestrator routes traffic away
+// before anything restarts the process.
+func (s *Server) ready() (bool, string) {
+	if s.gate.isDraining() {
+		return false, "draining"
+	}
+	if s.slo.Burning(s.cfg.SLOBurnThreshold) {
+		return false, "slo-burn"
+	}
+	if s.refine != nil && cap(s.refine.jobs) > 0 && len(s.refine.jobs) == cap(s.refine.jobs) {
+		return false, "refine-wedged"
+	}
+	return true, "ok"
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.ready()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	snap := s.slo.Snapshot()
+	out := struct {
+		Ready     bool    `json:"ready"`
+		Reason    string  `json:"reason"`
+		BurnShort float64 `json:"burn_rate_5m"`
+		BurnLong  float64 `json:"burn_rate_1h"`
+		BurnMax   float64 `json:"burn_threshold"`
+	}{ready, reason, snap.Short.BurnRate(), snap.Long.BurnRate(), s.cfg.SLOBurnThreshold}
+	body, _ := json.Marshal(out)
+	s.writeRaw(w, code, body, "")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -56,6 +57,12 @@ func (s *Server) WarmStart(ctx context.Context, reqs []*wire.Request) (WarmStats
 	if workers < 1 {
 		workers = 1
 	}
+	// One root span context identifies this warm-start run; every corpus
+	// compile traces under its own fresh TraceID with a span link back to
+	// this root, so the run's traces group without pretending the
+	// compiles nest inside one request.
+	warmRoot := obs.NewSpanContext()
+	warmRoot.Sampled = obs.Sample(warmRoot.TraceID, s.cfg.TraceSample)
 	feed := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -64,7 +71,7 @@ func (s *Server) WarmStart(ctx context.Context, reqs []*wire.Request) (WarmStats
 			defer wg.Done()
 			tail := sched.NewTailRecorder(0)
 			for i := range feed {
-				s.warmOne(ctx, reqs[i], i, tail, &warm, &compiled, fail)
+				s.warmOne(ctx, reqs[i], i, warmRoot, tail, &warm, &compiled, fail)
 				tail.Reset()
 			}
 		}()
@@ -92,8 +99,8 @@ feeding:
 
 // warmOne precompiles one corpus request: store probe first, then the
 // same admitAndCompile path a live request takes.
-func (s *Server) warmOne(ctx context.Context, req *wire.Request, i int, tail *sched.TailRecorder,
-	warm, compiled *atomic.Int64, fail func(error)) {
+func (s *Server) warmOne(ctx context.Context, req *wire.Request, i int, warmRoot obs.SpanContext,
+	tail *sched.TailRecorder, warm, compiled *atomic.Int64, fail func(error)) {
 	norm, loop, err := req.Normalize()
 	if err != nil {
 		fail(fmt.Errorf("warm-start request %d: %w", i, err))
@@ -137,7 +144,16 @@ func (s *Server) warmOne(ctx context.Context, req *wire.Request, i int, tail *sc
 		}
 		return
 	}
-	out := s.admitAndCompile(ctx, norm, loop, schedName, hash, fmt.Sprintf("warm-%04d", i), tail)
+	reqID := fmt.Sprintf("warm-%04d", i)
+	tr := obs.NewTrace(reqID, loop.Name)
+	tr.Scheduler = schedName
+	tr.Ctx = obs.SpanContext{
+		TraceID: obs.NewTraceID(),
+		SpanID:  obs.NewSpanID(),
+		Sampled: warmRoot.Sampled,
+	}
+	tr.Links = []obs.SpanContext{warmRoot}
+	out := s.admitAndCompile(ctx, norm, loop, schedName, hash, reqID, tail, tr)
 	s.flights.finish(hash, c, out)
 	if out.cacheable {
 		compiled.Add(1)
