@@ -1,7 +1,8 @@
-// Command promlint checks a Prometheus text exposition for the format
+// Command promlint checks a Prometheus exposition — classic 0.0.4 text
+// or OpenMetrics (bare counter family names, "# EOF") — for the format
 // errors that break real scrapers: samples without HELP/TYPE, duplicate
-// series, counters not suffixed _total, histograms with missing or
-// non-cumulative le buckets. It also enforces the cardinality
+// series, counter samples not suffixed _total, histograms with missing
+// or non-cumulative le buckets. It also enforces the cardinality
 // discipline tracing introduces: OpenMetrics exemplar sections
 // (`# {trace_id="..."} value`) must be syntactically valid and may only
 // annotate _bucket/_total samples, while trace/span-ID-shaped values

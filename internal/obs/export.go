@@ -39,6 +39,13 @@ type Exporter struct {
 	dropped  atomic.Uint64
 	failed   atomic.Uint64
 
+	// mu serializes Export's channel send against Close's close(ch):
+	// senders hold it shared, Close holds it exclusive while flipping
+	// closed, so no send can race the close and panic. Late Exports
+	// (shutdown overlaps in-flight handlers and warm-start goroutines)
+	// see closed and count a drop instead.
+	mu        sync.RWMutex
+	closed    bool
 	closeOnce sync.Once
 }
 
@@ -96,6 +103,12 @@ func (e *Exporter) Export(t *Trace) bool {
 	if e == nil || t == nil {
 		return false
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		e.dropped.Add(1)
+		return false
+	}
 	select {
 	case e.ch <- t:
 		return true
@@ -130,11 +143,18 @@ func (e *Exporter) Stats() ExportStats {
 }
 
 // Close drains the queue, delivers what it can, and stops the worker.
+// Export calls that arrive during or after Close return false and count
+// a drop — they never panic on the closed channel. Idempotent.
 func (e *Exporter) Close() error {
 	if e == nil {
 		return nil
 	}
-	e.closeOnce.Do(func() { close(e.ch) })
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		close(e.ch)
+		e.mu.Unlock()
+	})
 	e.wg.Wait()
 	return nil
 }

@@ -218,6 +218,60 @@ func TestExporterCountsDeliveryFailures(t *testing.T) {
 	}
 }
 
+// TestExporterExportAfterClose pins the shutdown contract: Export on a
+// closed exporter returns false and counts a drop — it must never panic
+// on the closed channel, because Server.Shutdown closes the exporter
+// while late handlers and warm-start goroutines may still offer traces.
+func TestExporterExportAfterClose(t *testing.T) {
+	e, err := NewExporter(ExporterConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Export(goldenTrace()) {
+		t.Fatal("closed exporter accepted a trace")
+	}
+	if st := e.Stats(); st.Dropped != 1 {
+		t.Fatalf("late export not counted as a drop: %+v", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err) // Close stays idempotent
+	}
+}
+
+// TestExporterCloseExportRace races Export against Close (meaningful
+// under -race): no send may hit the closed channel, and every offer is
+// accounted for as exported or dropped.
+func TestExporterCloseExportRace(t *testing.T) {
+	e, err := NewExporter(ExporterConfig{Dir: t.TempDir(), Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < per; i++ {
+				e.Export(goldenTrace())
+			}
+		}()
+	}
+	close(start)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Exported+st.Dropped+st.Failed != workers*per {
+		t.Fatalf("accounting leak after racing Close: %+v over %d offers", st, workers*per)
+	}
+}
+
 // TestExporterConcurrent hammers Export and Stats from many goroutines
 // (meaningful under -race): every offered trace is accounted for as
 // exported or dropped, never lost.

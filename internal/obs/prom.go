@@ -11,8 +11,9 @@ import (
 )
 
 // Registry is a dependency-free Prometheus metrics registry: counters,
-// gauges, gauge callbacks, and histograms, rendered in the text
-// exposition format (version 0.0.4).
+// gauges, gauge callbacks, and histograms, rendered in the classic text
+// exposition format (version 0.0.4) or, on request, OpenMetrics 1.0
+// (the only format in which exemplars are legal syntax).
 //
 // One mutex guards every mutation and the whole of WriteText, so a
 // scrape observes a single consistent snapshot of all families — a
@@ -182,9 +183,10 @@ func (f *Family) Observe(v float64, labelVals ...string) {
 // — trace_id and its hex value on the latency families — is attached
 // to the bucket the observation lands in, replacing that bucket's
 // previous exemplar. The pair annotates the rendered bucket line in
-// OpenMetrics exemplar syntax; it never becomes a series label, which
-// is what keeps trace IDs out of the cardinality budget. An empty
-// exVal degrades to a plain Observe.
+// OpenMetrics exemplar syntax (WriteOpenMetrics only — the 0.0.4 text
+// render must omit it or classic parsers fail the scrape); it never
+// becomes a series label, which is what keeps trace IDs out of the
+// cardinality budget. An empty exVal degrades to a plain Observe.
 func (f *Family) ObserveExemplar(v float64, exKey, exVal string, labelVals ...string) {
 	if exVal == "" {
 		f.Observe(v, labelVals...)
@@ -215,14 +217,51 @@ func (f *Family) Value(labelVals ...string) float64 {
 	return s.val
 }
 
-// WriteText renders the whole registry in the Prometheus text
-// exposition format under one lock — the consistent snapshot.
+// WriteText renders the whole registry in the classic Prometheus text
+// exposition format (version 0.0.4) under one lock — the consistent
+// snapshot. Exemplars are NOT rendered: exemplar syntax only exists in
+// OpenMetrics, and the 0.0.4 parser fails the whole scrape on the '#'
+// after a sample value. Scrapers that want exemplars negotiate
+// WriteOpenMetrics via the Accept header.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics 1.0 text
+// format: counter families are declared without their _total suffix
+// (samples keep it, per the spec) and histogram buckets carry their
+// exemplars. It writes the metric body only — a complete OpenMetrics
+// document must end with a "# EOF" line, which the caller appends after
+// any additional families it renders.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+// AcceptsOpenMetrics reports whether an HTTP Accept header value asks
+// for the OpenMetrics text format. A substring test is enough for the
+// clients that matter (Prometheus sends
+// "application/openmetrics-text;version=..." with q-weights; curl and
+// stock browsers never mention it), so no full content negotiation.
+func AcceptsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
+// OpenMetricsContentType is the Content-Type an OpenMetrics render is
+// served under.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var b strings.Builder
 	for _, f := range r.fams {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind)
+		famName := f.name
+		if openMetrics && f.kind == "counter" {
+			// OpenMetrics declares the counter family bare; the _total
+			// suffix belongs to the sample names.
+			famName = strings.TrimSuffix(famName, "_total")
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", famName, escapeHelp(f.help), famName, f.kind)
 		if f.fn != nil {
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
 			continue
@@ -240,17 +279,21 @@ func (r *Registry) WriteText(w io.Writer) error {
 		for _, k := range keys {
 			s := f.series[k]
 			if f.kind == "histogram" {
+				exemplars := s.exemplars
+				if !openMetrics {
+					exemplars = nil
+				}
 				cum := 0.0
 				for i, bound := range f.buckets {
 					cum += s.counts[i]
 					fmt.Fprintf(&b, "%s_bucket%s %s%s\n", f.name,
 						labelStr(f.labels, s.labelVals, "le", formatFloat(bound)), formatFloat(cum),
-						exemplarStr(s.exemplars, i))
+						exemplarStr(exemplars, i))
 				}
 				cum += s.counts[len(f.buckets)]
 				fmt.Fprintf(&b, "%s_bucket%s %s%s\n", f.name,
 					labelStr(f.labels, s.labelVals, "le", "+Inf"), formatFloat(cum),
-					exemplarStr(s.exemplars, len(f.buckets)))
+					exemplarStr(exemplars, len(f.buckets)))
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(s.sum))
 				fmt.Fprintf(&b, "%s_count%s %s\n", f.name, labelStr(f.labels, s.labelVals, "", ""), formatFloat(cum))
 				continue

@@ -9,11 +9,12 @@ import (
 	"strings"
 )
 
-// Promtool-style linter for the text exposition format. CI scrapes the
-// live /metrics endpoint and fails the build when the output stops
-// parsing — catching the classic regressions (unescaped label values,
-// samples with no TYPE, histograms missing their +Inf bucket,
-// duplicated series) before a real Prometheus does.
+// Promtool-style linter for the text exposition formats — classic
+// 0.0.4 and OpenMetrics (exemplars, bare counter family names, "# EOF")
+// both pass. CI scrapes the live /metrics endpoint and fails the build
+// when the output stops parsing — catching the classic regressions
+// (unescaped label values, samples with no TYPE, histograms missing
+// their +Inf bucket, duplicated series) before a real Prometheus does.
 
 var (
 	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
@@ -45,7 +46,8 @@ type promFamily struct {
 //   - metric and label names match the Prometheus grammar;
 //   - every sample belongs to a declared family (histograms may add
 //     _bucket/_sum/_count suffixes) and its value parses;
-//   - counters are named *_total;
+//   - counter samples are named *_total; the family may be declared
+//     with the suffix (classic 0.0.4) or without it (OpenMetrics);
 //   - no series (name + label set) appears twice;
 //   - every histogram series has a +Inf bucket.
 func LintExposition(r io.Reader) []error {
@@ -88,9 +90,6 @@ func LintExposition(r io.Reader) []error {
 				if f, ok := fams[name]; ok && f.samples > 0 {
 					fail(n, "TYPE for %q declared after its samples", name)
 				}
-				if parts[3] == "counter" && !strings.HasSuffix(name, "_total") {
-					fail(n, "counter %q should end in _total", name)
-				}
 				fams[name] = &promFamily{kind: parts[3], infSeen: map[string]bool{}}
 			}
 			continue
@@ -108,6 +107,9 @@ func LintExposition(r io.Reader) []error {
 		fam.samples++
 		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
 			fail(n, "sample %q has unparseable value %q", name, value)
+		}
+		if fam.kind == "counter" && !strings.HasSuffix(name, "_total") {
+			fail(n, "counter sample %q should end in _total", name)
 		}
 		if exemplar != "" {
 			if !strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_total") {
@@ -169,7 +171,9 @@ func LintExposition(r io.Reader) []error {
 }
 
 // lookupFamily resolves a sample name to its declared family, peeling
-// histogram/summary suffixes; it returns the family and the base name.
+// histogram/summary suffixes and the OpenMetrics counter convention (a
+// family declared bare whose samples carry _total); it returns the
+// family and the base name.
 func lookupFamily(fams map[string]*promFamily, name string) (*promFamily, string) {
 	if f, ok := fams[name]; ok {
 		return f, name
@@ -180,6 +184,11 @@ func lookupFamily(fams map[string]*promFamily, name string) (*promFamily, string
 			continue
 		}
 		if f, ok := fams[base]; ok && (f.kind == "histogram" || f.kind == "summary") {
+			return f, base
+		}
+	}
+	if base := strings.TrimSuffix(name, "_total"); base != name {
+		if f, ok := fams[base]; ok && f.kind == "counter" {
 			return f, base
 		}
 	}

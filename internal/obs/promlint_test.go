@@ -72,8 +72,11 @@ func TestLintRejectsUnboundedCardinality(t *testing.T) {
 }
 
 // TestObserveExemplarRendersLintClean checks the full loop: a histogram
-// fed through ObserveExemplar writes an exposition the linter accepts,
-// with the exemplar attached to the right bucket lines.
+// fed through ObserveExemplar writes an OpenMetrics exposition the
+// linter accepts, with the exemplar attached to the right bucket lines
+// — while the classic 0.0.4 render suppresses exemplars entirely
+// (exemplar syntax is illegal there; a stock Prometheus parser would
+// fail the whole scrape on it).
 func TestObserveExemplarRendersLintClean(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("app_lat_seconds", "Latency.", []float64{0.1, 1}, "outcome")
@@ -81,7 +84,7 @@ func TestObserveExemplarRendersLintClean(t *testing.T) {
 	h.ObserveExemplar(0.5, "trace_id", "fedcba9876543210fedcba9876543210", "ok")
 	h.ObserveExemplar(2, "trace_id", "", "ok") // unsampled: no exemplar
 	var b strings.Builder
-	if err := r.WriteText(&b); err != nil {
+	if err := r.WriteOpenMetrics(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -94,7 +97,30 @@ func TestObserveExemplarRendersLintClean(t *testing.T) {
 	if strings.Contains(out, `le="+Inf"} 3 #`) {
 		t.Fatalf("unsampled observation grew an exemplar:\n%s", out)
 	}
-	if errs := LintExposition(strings.NewReader(out)); len(errs) > 0 {
+	if errs := LintExposition(strings.NewReader(out + "# EOF\n")); len(errs) > 0 {
 		t.Fatalf("ObserveExemplar output fails lint: %v\n%s", errs, out)
+	}
+
+	var classic strings.Builder
+	if err := r.WriteText(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Fatalf("classic 0.0.4 render leaked an exemplar:\n%s", classic.String())
+	}
+}
+
+// TestLintAcceptsOpenMetricsCounters: the OpenMetrics counter
+// convention — family declared bare, samples suffixed _total — and the
+// trailing # EOF both lint clean, while a counter sample without the
+// suffix still fails under either declaration style.
+func TestLintAcceptsOpenMetricsCounters(t *testing.T) {
+	good := "# HELP app_requests Requests.\n# TYPE app_requests counter\napp_requests_total 3\n# EOF\n"
+	if errs := LintExposition(strings.NewReader(good)); len(errs) > 0 {
+		t.Fatalf("lint rejected OpenMetrics counter naming: %v", errs)
+	}
+	bad := "# TYPE app_requests counter\napp_requests 3\n"
+	if errs := LintExposition(strings.NewReader(bad)); len(errs) == 0 {
+		t.Fatal("lint accepted a counter sample without _total")
 	}
 }

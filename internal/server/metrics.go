@@ -199,21 +199,45 @@ func (m *metrics) compileDone(scheduler, outcome string, seconds float64, traceI
 // lintable (obs.LintExposition), and dependency-free. The registry
 // renders under its one lock; the scheduler families render from one
 // SafeMetrics snapshot, so each section is internally consistent.
+//
+// The format is negotiated: the default is the classic 0.0.4 text
+// format, in which exemplar syntax is illegal and therefore omitted; a
+// scraper whose Accept header asks for application/openmetrics-text
+// gets the OpenMetrics render — histogram exemplars included,
+// terminated by the mandatory "# EOF" line.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	om := obs.AcceptsOpenMetrics(r.Header.Get("Accept"))
 	var b strings.Builder
-	s.m.reg.WriteText(&b)
-	writeSchedFamilies(&b, s.sm.Snapshot())
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if om {
+		s.m.reg.WriteOpenMetrics(&b)
+	} else {
+		s.m.reg.WriteText(&b)
+	}
+	writeSchedFamilies(&b, s.sm.Snapshot(), om)
+	if om {
+		b.WriteString("# EOF\n")
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
 	w.Write([]byte(b.String()))
 }
 
 // writeSchedFamilies renders the scheduler event-stream aggregate: the
 // per-kind event counters, the per-outcome attempt counters (the
 // dimension that distinguishes budget-exhausted from cancelled
-// attempts), and the flat effort counters.
-func writeSchedFamilies(b *strings.Builder, m sched.Metrics) {
+// attempts), and the flat effort counters. In OpenMetrics mode the
+// counter families are declared without their _total suffix, matching
+// the registry's render.
+func writeSchedFamilies(b *strings.Builder, m sched.Metrics, openMetrics bool) {
+	famName := func(name string) string {
+		if openMetrics {
+			return strings.TrimSuffix(name, "_total")
+		}
+		return name
+	}
 	labelled := func(name, help, label string, counts map[string]int64) {
-		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", famName(name), help, famName(name))
 		keys := make([]string, 0, len(counts))
 		for k := range counts {
 			keys = append(keys, k)
@@ -224,7 +248,7 @@ func writeSchedFamilies(b *strings.Builder, m sched.Metrics) {
 		}
 	}
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", famName(name), help, famName(name), name, v)
 	}
 	labelled("lsmsd_sched_events_total",
 		"Scheduler events folded across all requests, by kind.", "kind", m.EventCounts())

@@ -408,11 +408,13 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // exportTrace offers a finished trace to the exporter when the request
-// was sampled. Nil-safe on every axis.
-func (s *Server) exportTrace(tr *obs.Trace) {
+// was sampled, reporting whether the exporter accepted it. Nil-safe on
+// every axis (no exporter, nil trace, unsampled: false).
+func (s *Server) exportTrace(tr *obs.Trace) bool {
 	if s.exporter != nil && tr != nil && tr.Ctx.Sampled {
-		s.exporter.Export(tr)
+		return s.exporter.Export(tr)
 	}
+	return false
 }
 
 // serverTiming renders a finished trace's spans as a Server-Timing
@@ -565,19 +567,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	c, leader := s.flights.join(hash)
 	if !leader {
 		s.m.deduped.Inc()
+		// The waiter's own trace: one span covering the wait, under the
+		// caller's TraceID (the leader's compile has its own). Both are
+		// opened before the select so the span measures the wait it is
+		// named for; a cancelled wait just discards them (nil-safe).
+		var wtr *obs.Trace
+		var wsp *obs.Span
+		if s.exporter != nil && sctx.Sampled {
+			wtr = obs.NewTrace(reqID, loop.Name)
+			wtr.Scheduler = schedName
+			wtr.Ctx, wtr.Parent = sctx, parent
+			wsp = wtr.Start("dedup-wait")
+		}
 		select {
 		case <-c.done:
-			if s.exporter != nil && sctx.Sampled {
-				// The waiter's own trace: one span covering the wait, under
-				// the caller's TraceID (the leader's compile has its own).
-				tr := obs.NewTrace(reqID, loop.Name)
-				tr.Scheduler = schedName
-				tr.Ctx, tr.Parent = sctx, parent
-				sp := tr.Start("dedup-wait")
-				sp.End(obs.OutcomeOK)
-				tr.Finish(obs.OutcomeOK)
-				s.exportTrace(tr)
-			}
+			wsp.End(obs.OutcomeOK)
+			wtr.Finish(obs.OutcomeOK)
+			s.exportTrace(wtr)
 			s.writeRaw(w, c.out.status, c.out.body, "dedup")
 			s.logRequest(reqID, loop.Name, schedName, c.out.status, "dedup", c.out.name, time.Since(start))
 		case <-r.Context().Done():
@@ -730,12 +736,12 @@ func (s *Server) admitAndCompile(ctx context.Context, norm *wire.Request, loop *
 	}
 	tr.Finish(out.name)
 	s.flight.Record(tr)
-	s.exportTrace(tr)
 	exID := ""
-	if tr.Ctx.Sampled {
+	if s.exportTrace(tr) {
 		// The exemplar on the latency histogram points at a trace the
-		// exporter actually shipped — a dashboard bucket links straight to
-		// a spooled trace document.
+		// exporter actually accepted — a dashboard bucket links straight
+		// to a spooled trace document, never to an ID that resolves to
+		// nothing (tracing off, or the trace dropped on a full queue).
 		exID = tr.Ctx.TraceID.String()
 	}
 	s.m.compileDone(schedName, out.name, tr.Dur.Seconds(), exID)

@@ -384,8 +384,11 @@ func TestFlightRecorderTraceFilter(t *testing.T) {
 }
 
 // TestBuildInfoAndTraceMetrics: the build-info gauge and the trace
-// exporter counters are on /metrics, and a sampled compile lands an
-// exemplar on the latency histogram that the linter accepts.
+// exporter counters are on /metrics; a sampled compile lands an
+// exemplar on the latency histogram, but only in the negotiated
+// OpenMetrics render — the default classic 0.0.4 render must stay
+// exemplar-free (exemplar syntax is illegal there and fails a stock
+// Prometheus scrape). Both renders pass the linter.
 func TestBuildInfoAndTraceMetrics(t *testing.T) {
 	spool := t.TempDir()
 	_, ts := newTestServer(t, Config{Workers: 2, TraceDir: spool})
@@ -393,25 +396,62 @@ func TestBuildInfoAndTraceMetrics(t *testing.T) {
 	postTraced(t, ts.URL, body, fixedTraceparent)
 	spoolDocs(t, spool, func(d *obs.TraceDoc) bool { return true })
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+	scrape := func(accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get("Content-Type")
 	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	out := string(b)
+
+	exemplar := `# {trace_id="0123456789abcdef0123456789abcdef"}`
+
+	out, ctype := scrape("")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("default scrape content type %q", ctype)
+	}
 	for _, want := range []string{
 		"lsmsd_build_info{",
 		"lsmsd_trace_exported_total 1",
 		"lsmsd_trace_dropped_total 0",
 		"lsmsd_slo_objective 0.99",
-		`# {trace_id="0123456789abcdef0123456789abcdef"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, exemplar) {
+		t.Fatalf("classic 0.0.4 scrape carries an exemplar (illegal syntax there):\n%s", out)
+	}
 	if errs := obs.LintExposition(strings.NewReader(out)); len(errs) > 0 {
 		t.Fatalf("/metrics fails promlint: %v", errs)
+	}
+
+	om, ctype := scrape("application/openmetrics-text;version=1.0.0")
+	if !strings.HasPrefix(ctype, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics scrape content type %q", ctype)
+	}
+	for _, want := range []string{
+		"lsmsd_trace_exported_total 1",
+		"# TYPE lsmsd_requests counter",
+		exemplar,
+		"# EOF\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("OpenMetrics /metrics missing %q:\n%s", want, om)
+		}
+	}
+	if errs := obs.LintExposition(strings.NewReader(om)); len(errs) > 0 {
+		t.Fatalf("OpenMetrics /metrics fails promlint: %v", errs)
 	}
 }
